@@ -1,0 +1,71 @@
+// Reproduces Figure 4: "Average drift diagram of two competing cwnd's".
+//
+// Analytic drift field of the §4.4 two-session model with n = 3 and
+// pipe = 10, rendered as an ASCII vector field (the paper scales the drift
+// down by 5 for readability; we print the raw values per cell).  The visual
+// claim: below the diagonal w1 + w2 = pipe both windows grow along the 45°
+// line; above it the drift points back toward the desired operating point
+// (pipe/2, pipe/2).
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "model/drift.hpp"
+
+using namespace rlacast;
+
+namespace {
+
+char arrow(double dx, double dy) {
+  // Quantize the drift direction to 8 compass arrows.
+  if (std::abs(dx) < 0.05 && std::abs(dy) < 0.05) return 'o';
+  const double ang = std::atan2(dy, dx);  // [-pi, pi]
+  static const char* dirs = ">/^\\<,v.";   // E NE N NW W SW S SE
+  int idx = static_cast<int>(std::round(ang / (M_PI / 4.0)));
+  if (idx < 0) idx += 8;
+  return dirs[idx % 8];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Figure 4: drift field of two competing cwnds "
+                      "(n=3, pipe=10)",
+                      opt);
+
+  model::DriftField field(3, 10.0);
+
+  std::printf("direction field (x: cwnd1 ->, y: cwnd2 ^):\n\n");
+  for (int y = 16; y >= 1; --y) {
+    std::printf("%3d  ", y);
+    for (int x = 1; x <= 16; ++x) {
+      const auto d = field.drift(x, y);
+      std::printf("%c ", arrow(d.dx, d.dy));
+    }
+    std::printf("\n");
+  }
+  std::printf("     ");
+  for (int x = 1; x <= 16; ++x) std::printf("%c ", x % 5 ? ' ' : '+');
+  std::printf("\n\n");
+
+  std::printf("sampled drift vectors (per 2*RTT):\n");
+  const double pts[][2] = {{2, 2},  {4, 4},  {5, 5},  {6, 6},
+                           {8, 8},  {12, 12}, {3, 9},  {9, 3},
+                           {14, 2}, {2, 14}};
+  for (const auto& p : pts) {
+    const auto d = field.drift(p[0], p[1]);
+    std::printf("  (%4.1f,%4.1f): (%+6.3f, %+6.3f)  signals/event=%d\n", p[0],
+                p[1], d.dx, d.dy, field.signals_at(p[0], p[1]));
+  }
+
+  // The drift flips sign exactly at the pipe boundary: +2 below it,
+  // negative at it — so the chain oscillates around w1 + w2 = pipe,
+  // i.e. around the desired operating point (pipe/2, pipe/2).
+  std::printf("\ndiagonal drift: at w=%.1f each: %+0.3f;  at w=%.1f each: "
+              "%+0.3f\n",
+              4.9, field.drift(4.9, 4.9).dx, 5.0, field.drift(5.0, 5.0).dx);
+  std::printf("shape check: growth (ne arrows) below w1+w2=10, contraction\n"
+              "pointing back toward the diagonal above it.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Figure 7: "Simulation results with drop-tail gateways".
+//
+// Five bottleneck placements on the four-level tertiary tree (27 receivers,
+// one background TCP per receiver, buffer 20 packets, soft-bottleneck share
+// 100 pkt/s). Rows: RLA throughput / cwnd / RTT / #signals / #cuts /
+// #forced, and the worst (WTCP) and best (BTCP) competing TCP.
+//
+// Expected shape (paper values for reference, 2900 s measurement):
+//   case:         1(L1)  2(L3*)  3(L4*)  4(L4,1-5)  5(L21)
+//   RLA thrput    144.1  105.1    94.6     153.0    224.6
+//   WTCP thrput    81.8   83.0    79.2      68.2     74.5
+//   BTCP thrput    89.6   87.8    80.3     170.7    570.7
+// plus: #forced cuts = 0 everywhere, RLA cuts ~ signals/27, and the
+// essential-fairness check of Theorem II (a=1/4, b=2n).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "model/formulas.hpp"
+#include "topo/tertiary_tree.hpp"
+
+using namespace rlacast;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 7: multicast sharing with TCP, drop-tail gateways", opt);
+
+  const topo::TreeCase cases[] = {
+      topo::TreeCase::kL1, topo::TreeCase::kL3All, topo::TreeCase::kL4All,
+      topo::TreeCase::kL4Some, topo::TreeCase::kL21};
+
+  std::vector<bench::CaseColumn> cols;
+  std::vector<topo::TreeResult> results;
+  for (const auto c : cases) {
+    topo::TreeConfig cfg;
+    cfg.bottleneck = c;
+    cfg.gateway = topo::GatewayType::kDropTail;
+    cfg.duration = opt.duration;
+    cfg.warmup = opt.warmup;
+    cfg.seed = opt.seed;
+    const auto res = topo::run_tertiary_tree(cfg);
+    cols.push_back({topo::tree_case_name(c), res.rla[0], res.worst_tcp(),
+                    res.best_tcp()});
+    results.push_back(res);
+  }
+
+  std::printf("%s\n", bench::render_fig7_style_table(cols).c_str());
+
+  // Essential-fairness audit (Theorem II: 1/4 < RLA/WTCP < 2n = 54).
+  const auto bounds = model::theorem2_droptail_bounds(27);
+  std::printf("Theorem II audit (drop-tail, n=27): a=%.2f b=%.0f\n",
+              bounds.lo, bounds.hi);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const double ratio =
+        cols[i].rla.throughput_pps / cols[i].wtcp.throughput_pps;
+    std::printf("  case %zu (%s): RLA/WTCP = %.2f  -> %s\n", i + 1,
+                cols[i].name.c_str(), ratio,
+                bounds.contains(ratio) ? "within bounds" : "OUT OF BOUNDS");
+  }
+  std::printf("\nlisten ratio audit (cuts/signals; expect ~1/27 = %.3f):\n",
+              1.0 / 27.0);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const auto& r = cols[i].rla;
+    std::printf("  case %zu: %.4f (forced cuts: %llu)\n", i + 1,
+                r.cong_signals
+                    ? static_cast<double>(r.window_cuts) / r.cong_signals
+                    : 0.0,
+                static_cast<unsigned long long>(r.forced_cuts));
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Engine microbenchmarks (google-benchmark): scheduler throughput, queue
+// operations, RED estimator cost, scoreboard operations, and end-to-end
+// simulated-seconds-per-wallclock-second for a reference scenario.
+#include <benchmark/benchmark.h>
+
+#include "net/drop_tail.hpp"
+#include "net/red.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/scoreboard.hpp"
+#include "topo/flat_tree.hpp"
+
+namespace {
+
+using namespace rlacast;
+
+void BM_SchedulerScheduleDispatch(benchmark::State& state) {
+  sim::Scheduler s;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    s.schedule_at(s.now() + 1.0, [&] { ++sink; });
+    s.run_one();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SchedulerScheduleDispatch);
+
+void BM_SchedulerDeepHeap(benchmark::State& state) {
+  // Dispatch cost with a heap of `range` pending events.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler s;
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < depth; ++i)
+    s.schedule_at(1e9 + static_cast<double>(i), [] {});
+  for (auto _ : state) {
+    s.schedule_at(s.now() + 1.0, [&] { ++sink; });
+    s.run_one();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SchedulerDeepHeap)->Arg(1000)->Arg(100000);
+
+void BM_TimerRescheduleCancel(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Timer t(sim, [] {});
+  for (auto _ : state) {
+    t.schedule(10.0);
+    t.cancel();
+  }
+}
+BENCHMARK(BM_TimerRescheduleCancel);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q(64);
+  net::Packet p;
+  for (auto _ : state) {
+    q.enqueue(p, 0.0);
+    benchmark::DoNotOptimize(q.dequeue(0.0));
+  }
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_RedEnqueueDequeue(benchmark::State& state) {
+  net::RedParams params;
+  params.capacity = 64;
+  net::RedQueue q(params, sim::Rng(1));
+  net::Packet p;
+  for (auto _ : state) {
+    q.enqueue(p, 0.0);
+    benchmark::DoNotOptimize(q.dequeue(0.0));
+  }
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+void BM_ScoreboardAckCycle(benchmark::State& state) {
+  // Window of `range` packets: send, SACK the top, advance.
+  const auto w = static_cast<net::SeqNum>(state.range(0));
+  tcp::Scoreboard sb;
+  net::SeqNum next = 0;
+  for (net::SeqNum i = 0; i < w; ++i) sb.on_send(next++);
+  for (auto _ : state) {
+    sb.on_send(next++);
+    net::SackBlock b{next - 1, next};
+    sb.apply_sack(&b, 1);
+    sb.detect_losses(3);
+    sb.advance(next - w);
+  }
+}
+BENCHMARK(BM_ScoreboardAckCycle)->Arg(32)->Arg(256);
+
+void BM_FlatTreeSimulatedSecond(benchmark::State& state) {
+  // Wallclock cost of one simulated second of the reference scenario:
+  // 4 branches at 200 pkt/s, 1 TCP each, plus the RLA session.
+  for (auto _ : state) {
+    topo::FlatTreeConfig cfg;
+    cfg.branches.assign(4, topo::FlatBranch{200.0, 1});
+    cfg.duration = 10.0;
+    cfg.warmup = 1.0;
+    benchmark::DoNotOptimize(topo::run_flat_tree(cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
+}
+BENCHMARK(BM_FlatTreeSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// RED parameter sensitivity (the paper fixes min_th 5 / max_th 15 and "the
+// default values used in the standard NS2.0 RED gateway" — this bench shows
+// what those defaults buy and how fairness tightness responds to them).
+//
+// Sweeps, one at a time around the paper's operating point, on the
+// 4-receiver restricted topology with RED gateways:
+//   * thresholds (min_th, max_th)
+//   * estimator gain w_q
+//   * max_p (ns linterm)
+// Reported: RLA/WTCP fairness ratio, bottleneck average queue, drop rate.
+#include <cstdio>
+
+#include "common.hpp"
+#include "stats/table.hpp"
+#include "topo/flat_tree.hpp"
+
+using namespace rlacast;
+
+namespace {
+
+struct Probe {
+  double ratio;
+  double drop_rate;
+  double rla_rtt;
+};
+
+Probe run(net::RedParams red, const bench::Options& opt) {
+  topo::FlatTreeConfig cfg;
+  cfg.branches.assign(4, topo::FlatBranch{200.0, 1});
+  cfg.gateway = topo::GatewayType::kRed;
+  cfg.red = red;
+  cfg.duration = opt.duration;
+  cfg.warmup = opt.warmup;
+  cfg.seed = opt.seed;
+  const auto res = topo::run_flat_tree(cfg);
+  double drop = 0.0;
+  for (double d : res.bottleneck_drop_rate) drop += d;
+  drop /= static_cast<double>(res.bottleneck_drop_rate.size());
+  return {res.rla.throughput_pps / res.worst_tcp().throughput_pps, drop,
+          res.rla.avg_rtt};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("RED parameter sensitivity around the paper's "
+                      "operating point",
+                      opt);
+
+  stats::Table t({"parameters", "RLA/WTCP", "drop rate", "RLA RTT (s)"});
+  auto add = [&](const char* label, net::RedParams p) {
+    const auto r = run(p, opt);
+    t.add_row({label, stats::Table::num(r.ratio, 2),
+               stats::Table::num(r.drop_rate, 4),
+               stats::Table::num(r.rla_rtt, 3)});
+  };
+
+  net::RedParams paper;  // min 5 / max 15, w_q 0.002, max_p 0.1
+  add("paper: min5/max15 wq.002 maxp.1", paper);
+
+  net::RedParams th_low = paper;
+  th_low.min_th = 2;
+  th_low.max_th = 6;
+  add("low thresholds: min2/max6", th_low);
+
+  net::RedParams th_high = paper;
+  th_high.min_th = 10;
+  th_high.max_th = 19;
+  add("high thresholds: min10/max19", th_high);
+
+  net::RedParams slow_est = paper;
+  slow_est.w_q = 0.0002;
+  add("slow estimator: wq .0002", slow_est);
+
+  net::RedParams fast_est = paper;
+  fast_est.w_q = 0.02;
+  add("fast estimator: wq .02", fast_est);
+
+  net::RedParams gentle_p = paper;
+  gentle_p.max_p = 0.02;
+  add("gentle marking: maxp .02", gentle_p);
+
+  net::RedParams harsh_p = paper;
+  harsh_p.max_p = 0.5;
+  add("harsh marking: maxp .5", harsh_p);
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "shape check: fairness stays near 1 across the sweep (RED's\n"
+      "equal-loss-probability property is parameter-robust); thresholds\n"
+      "move the operating queue (RTT), max_p trades drop rate against\n"
+      "queue length. The paper's settings sit comfortably in the middle.\n");
+  return 0;
+}

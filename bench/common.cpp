@@ -1,0 +1,95 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rlacast::bench {
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--full") {
+      opt.full = true;
+      opt.duration = 3000.0;
+      opt.warmup = 100.0;
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(next_value("--seed"));
+    } else if (arg == "--duration") {
+      opt.duration = next_value("--duration");
+    } else if (arg == "--warmup") {
+      opt.warmup = next_value("--warmup");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--full] [--seed N] [--duration S] [--warmup S]\n"
+          "  --full   paper-length run (3000 s, statistics after 100 s)\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+std::string render_fig7_style_table(const std::vector<CaseColumn>& cases) {
+  using stats::Table;
+  std::vector<std::string> header{"row"};
+  for (const auto& c : cases) header.push_back(c.name);
+  Table t(std::move(header));
+
+  auto add = [&](const std::string& label, auto getter) {
+    std::vector<std::string> row{label};
+    for (const auto& c : cases) row.push_back(getter(c));
+    t.add_row(std::move(row));
+  };
+
+  add("RLA thrput (pkt/s)",
+      [](const CaseColumn& c) { return Table::num(c.rla.throughput_pps); });
+  add("RLA cwnd", [](const CaseColumn& c) { return Table::num(c.rla.avg_cwnd); });
+  add("RLA RTT (s)",
+      [](const CaseColumn& c) { return Table::num(c.rla.avg_rtt, 3); });
+  add("RLA #cong signals", [](const CaseColumn& c) {
+    return std::to_string(c.rla.cong_signals);
+  });
+  add("RLA #wnd cut",
+      [](const CaseColumn& c) { return std::to_string(c.rla.window_cuts); });
+  add("RLA #forced cut",
+      [](const CaseColumn& c) { return std::to_string(c.rla.forced_cuts); });
+  add("WTCP thrput (pkt/s)",
+      [](const CaseColumn& c) { return Table::num(c.wtcp.throughput_pps); });
+  add("WTCP cwnd", [](const CaseColumn& c) { return Table::num(c.wtcp.avg_cwnd); });
+  add("WTCP RTT (s)",
+      [](const CaseColumn& c) { return Table::num(c.wtcp.avg_rtt, 3); });
+  add("WTCP #wnd cut",
+      [](const CaseColumn& c) { return std::to_string(c.wtcp.window_cuts); });
+  add("BTCP thrput (pkt/s)",
+      [](const CaseColumn& c) { return Table::num(c.btcp.throughput_pps); });
+  add("BTCP cwnd", [](const CaseColumn& c) { return Table::num(c.btcp.avg_cwnd); });
+  add("BTCP RTT (s)",
+      [](const CaseColumn& c) { return Table::num(c.btcp.avg_rtt, 3); });
+  add("BTCP #wnd cut",
+      [](const CaseColumn& c) { return std::to_string(c.btcp.window_cuts); });
+  return t.render();
+}
+
+void print_header(const std::string& title, const Options& opt) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("run: %.0f s, statistics after %.0f s, seed %llu%s\n",
+              opt.duration, opt.warmup,
+              static_cast<unsigned long long>(opt.seed),
+              opt.full ? " (paper-length)" : " (scaled; use --full)");
+  std::printf("==================================================\n");
+}
+
+}  // namespace rlacast::bench

@@ -1,0 +1,44 @@
+// Shared helpers for the reproduction benches: command-line handling
+// (--full for paper-length 3000 s runs, --seed, --duration) and the
+// Figure 7/9/10-style table assembly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/table.hpp"
+#include "topo/flow_rows.hpp"
+
+namespace rlacast::bench {
+
+struct Options {
+  /// Default runs are time-scaled (shape-preserving) for quick iteration;
+  /// --full reproduces the paper's 3000 s / 100 s warm-up schedule.
+  bool full = false;
+  double duration = 240.0;
+  double warmup = 60.0;
+  std::uint64_t seed = 1;
+
+  double measured_seconds() const { return duration - warmup; }
+};
+
+/// Parses --full, --seed N, --duration S, --warmup S. Unknown flags abort
+/// with a usage message.
+Options parse_options(int argc, char** argv);
+
+/// Adds the RLA row block of Figures 7/9 (one column per case) to a table.
+struct CaseColumn {
+  std::string name;
+  topo::FlowRow rla;
+  topo::FlowRow wtcp;
+  topo::FlowRow btcp;
+};
+
+/// Renders the full three-block (RLA / WTCP / BTCP) table of Figures 7/9.
+std::string render_fig7_style_table(const std::vector<CaseColumn>& cases);
+
+/// Prints a standard bench header with reproduction context.
+void print_header(const std::string& title, const Options& opt);
+
+}  // namespace rlacast::bench

@@ -1,0 +1,57 @@
+// Example: how much does router cooperation buy?
+//
+// The paper proves looser fairness bounds for drop-tail gateways
+// (Theorem II: 1/4 .. 2n) than for RED (Theorem I: 1/3 .. sqrt(3n)) and
+// §5.1 observes that measured fairness with RED is "closer to absolute".
+// This example quantifies that on one topology: the same 9-receiver tree is
+// run with both gateway types and several seeds, and the spread of the
+// per-branch RLA/TCP throughput ratios is compared.
+#include <cstdio>
+#include <vector>
+
+#include "model/formulas.hpp"
+#include "stats/summary.hpp"
+#include "topo/flat_tree.hpp"
+
+using namespace rlacast;
+
+namespace {
+
+stats::Summary fairness_ratios(topo::GatewayType gw) {
+  stats::Summary ratios;
+  for (std::uint64_t seed : {1, 2, 3}) {
+    topo::FlatTreeConfig cfg;
+    cfg.branches.assign(9, topo::FlatBranch{200.0, 1});
+    cfg.gateway = gw;
+    cfg.duration = 260.0;
+    cfg.warmup = 60.0;
+    cfg.seed = seed;
+    const auto res = topo::run_flat_tree(cfg);
+    ratios.add(res.rla.throughput_pps / res.worst_tcp().throughput_pps);
+  }
+  return ratios;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RLA vs worst TCP throughput ratio, 9 equally congested "
+              "branches,\nthree seeds each:\n\n");
+  const auto dt = fairness_ratios(topo::GatewayType::kDropTail);
+  const auto red = fairness_ratios(topo::GatewayType::kRed);
+
+  const auto b_dt = model::theorem2_droptail_bounds(9);
+  const auto b_red = model::theorem1_red_bounds(9);
+  std::printf("  %-10s ratio mean %.2f  range [%.2f, %.2f]   proven bounds "
+              "(%.2f, %.2f)\n",
+              "drop-tail", dt.mean(), dt.min(), dt.max(), b_dt.lo, b_dt.hi);
+  std::printf("  %-10s ratio mean %.2f  range [%.2f, %.2f]   proven bounds "
+              "(%.2f, %.2f)\n",
+              "RED", red.mean(), red.min(), red.max(), b_red.lo, b_red.hi);
+
+  std::printf("\nabsolute fairness would be ratio 1.0; RED should sit closer\n"
+              "to it and vary less across seeds, because every flow through\n"
+              "a RED gateway sees the same loss probability while drop-tail\n"
+              "loss depends on packet arrival phase.\n");
+  return 0;
+}

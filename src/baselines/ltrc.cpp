@@ -1,0 +1,11 @@
+#include "baselines/ltrc.hpp"
+
+namespace rlacast::baselines {
+
+bool LtrcSender::should_cut() {
+  for (double loss : reported_loss())
+    if (loss > loss_threshold_) return true;
+  return false;
+}
+
+}  // namespace rlacast::baselines

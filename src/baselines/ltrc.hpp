@@ -1,0 +1,32 @@
+// LTRC — Loss-Tolerant Rate Controller (Montgomery 1997), as summarized in
+// §1 of the paper: the sender halves its rate when the reported EWMA loss
+// rate from *some* receiver exceeds a threshold, with a refractory period
+// after each reduction.  §1's criticism — that no universal threshold exists
+// across topologies — is what bench_baselines demonstrates.
+#pragma once
+
+#include "baselines/rate_sender.hpp"
+
+namespace rlacast::baselines {
+
+struct LtrcParams {
+  RateSenderParams rate{};
+  /// Loss-rate threshold above which a receiver's report signals congestion.
+  double loss_threshold = 0.02;
+};
+
+class LtrcSender final : public RateBasedSender {
+ public:
+  LtrcSender(net::Network& network, net::NodeId node, net::PortId port,
+             net::GroupId group, net::FlowId flow, LtrcParams params = {})
+      : RateBasedSender(network, node, port, group, flow, params.rate),
+        loss_threshold_(params.loss_threshold) {}
+
+ protected:
+  bool should_cut() override;
+
+ private:
+  double loss_threshold_;
+};
+
+}  // namespace rlacast::baselines

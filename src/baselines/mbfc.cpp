@@ -1,0 +1,18 @@
+#include "baselines/mbfc.hpp"
+
+namespace rlacast::baselines {
+
+double MbfcSender::congested_fraction() const {
+  if (reported_loss().empty()) return 0.0;
+  std::size_t congested = 0;
+  for (double loss : reported_loss())
+    if (loss > loss_threshold_) ++congested;
+  return static_cast<double>(congested) /
+         static_cast<double>(reported_loss().size());
+}
+
+bool MbfcSender::should_cut() {
+  return congested_fraction() > population_threshold_;
+}
+
+}  // namespace rlacast::baselines

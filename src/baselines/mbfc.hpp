@@ -1,0 +1,38 @@
+// MBFC — Monitor-Based Flow Control (Sano et al. 1997), as summarized in §1:
+// a double-threshold scheme.  A receiver is "congested" when its monitored
+// loss rate exceeds the loss-rate threshold; the sender halves its rate only
+// when the fraction of congested receivers exceeds the loss-population
+// threshold.  With the population threshold at its minimum this degenerates
+// to tracing the slowest receiver, §1 notes — bench_baselines sweeps that.
+#pragma once
+
+#include "baselines/rate_sender.hpp"
+
+namespace rlacast::baselines {
+
+struct MbfcParams {
+  RateSenderParams rate{};
+  double loss_threshold = 0.02;
+  /// Minimum fraction of receivers congested before the sender reacts.
+  double population_threshold = 0.25;
+};
+
+class MbfcSender final : public RateBasedSender {
+ public:
+  MbfcSender(net::Network& network, net::NodeId node, net::PortId port,
+             net::GroupId group, net::FlowId flow, MbfcParams params = {})
+      : RateBasedSender(network, node, port, group, flow, params.rate),
+        loss_threshold_(params.loss_threshold),
+        population_threshold_(params.population_threshold) {}
+
+  double congested_fraction() const;
+
+ protected:
+  bool should_cut() override;
+
+ private:
+  double loss_threshold_;
+  double population_threshold_;
+};
+
+}  // namespace rlacast::baselines

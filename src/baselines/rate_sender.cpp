@@ -1,0 +1,80 @@
+#include "baselines/rate_sender.hpp"
+
+#include <algorithm>
+
+namespace rlacast::baselines {
+
+RateBasedSender::RateBasedSender(net::Network& network, net::NodeId node,
+                                 net::PortId port, net::GroupId group,
+                                 net::FlowId flow, RateSenderParams params)
+    : network_(network),
+      sim_(network.simulator()),
+      node_(node),
+      port_(port),
+      group_(group),
+      flow_(flow),
+      params_(params),
+      rate_(params.initial_rate_pps) {
+  network_.attach(node_, port_, this);
+  rate_mean_.start(0.0, rate_);
+}
+
+int RateBasedSender::add_receiver() {
+  reported_loss_.push_back(0.0);
+  return static_cast<int>(reported_loss_.size()) - 1;
+}
+
+void RateBasedSender::start_at(sim::SimTime when) {
+  sim_.at(when, [this] {
+    started_ = true;
+    send_next();
+    policy_tick();
+  });
+}
+
+void RateBasedSender::on_receive(const net::Packet& p) {
+  if (p.type != net::PacketType::kReport) return;
+  if (p.receiver_id < 0 ||
+      static_cast<std::size_t>(p.receiver_id) >= reported_loss_.size())
+    return;
+  reported_loss_[static_cast<std::size_t>(p.receiver_id)] =
+      p.report_loss_rate;
+}
+
+void RateBasedSender::send_next() {
+  if (!started_) return;
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.flow = flow_;
+  p.src = node_;
+  p.src_port = port_;
+  p.group = group_;
+  p.size_bytes = params_.packet_bytes;
+  p.seq = next_seq_++;
+  p.ts_echo = sim_.now();
+  network_.inject(p);
+  ++sent_;
+  sim_.after(1.0 / rate_, [this] { send_next(); });
+}
+
+void RateBasedSender::set_rate(double r) {
+  rate_ = std::clamp(r, params_.min_rate_pps, params_.max_rate_pps);
+  rate_mean_.update(sim_.now(), rate_);
+}
+
+void RateBasedSender::policy_tick() {
+  if (should_cut() && sim_.now() - last_cut_ >= params_.dead_time) {
+    set_rate(rate_ / 2.0);
+    last_cut_ = sim_.now();
+    ++cuts_;
+  } else {
+    // Linear increase: one packet per RTT per RTT, i.e. slope 1/RTT^2
+    // packets per second per second, applied over the update interval.
+    const double slope =
+        1.0 / (params_.nominal_rtt * params_.nominal_rtt);
+    set_rate(rate_ + slope * params_.update_interval);
+  }
+  sim_.after(params_.update_interval, [this] { policy_tick(); });
+}
+
+}  // namespace rlacast::baselines

@@ -1,0 +1,52 @@
+#include "model/drift.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rlacast::model {
+namespace {
+
+double binom_pmf(int n, int i, double q) {
+  double logc = 0.0;
+  for (int k = 0; k < i; ++k)
+    logc += std::log(static_cast<double>(n - k) / static_cast<double>(i - k));
+  return std::exp(logc + i * std::log(q) + (n - i) * std::log1p(-q));
+}
+
+}  // namespace
+
+DriftField::DriftField(int n, double pipe)
+    : DriftField(std::vector<PipeClass>{{pipe, n}}) {}
+
+DriftField::DriftField(std::vector<PipeClass> classes)
+    : classes_(std::move(classes)) {
+  for (std::size_t j = 0; j < classes_.size(); ++j) {
+    assert(j == 0 || classes_[j].pipe > classes_[j - 1].pipe);
+    n_ += classes_[j].receivers;
+  }
+  assert(n_ > 0);
+}
+
+int DriftField::signals_at(double w1, double w2) const {
+  const double sum = w1 + w2;
+  int m = 0;
+  for (const auto& c : classes_)
+    if (sum >= c.pipe) m += c.receivers;
+  return m;
+}
+
+double DriftField::axis_drift(double w, int m) const {
+  if (m == 0) return 2.0;
+  const double q = 1.0 / static_cast<double>(n_);
+  double d = 2.0 * binom_pmf(m, 0, q);
+  for (int i = 1; i <= m; ++i)
+    d -= (w - w / std::pow(2.0, i)) * binom_pmf(m, i, q);
+  return d;
+}
+
+DriftField::Vec DriftField::drift(double w1, double w2) const {
+  const int m = signals_at(w1, w2);
+  return {axis_drift(w1, m), axis_drift(w2, m)};
+}
+
+}  // namespace rlacast::model

@@ -1,0 +1,55 @@
+// Figure 4: average drift field of two competing RLA congestion windows.
+//
+// The §4.4 model: two multicast sessions share n troubled virtual links.
+// Below the aggregate pipe (cwnd1 + cwnd2 < pipe) both windows grow by 2 per
+// time unit (Δt = 2 RTT).  At or above it, each sender independently takes
+// i halvings with probability Binomial(n, 1/n)_i, so the expected drift of
+// W along its axis is
+//
+//     2 p0  -  Σ_{i=1..n} (W - W/2^i) p_i .
+//
+// The multi-pipe staircase (pipe_1 < … < pipe_k carrying n_1 … n_k
+// receivers) generalizes this: between pipe_j and pipe_{j+1} the senders
+// receive m_j = n_1 + … + n_j signals, and the halving count is
+// Binomial(m_j, 1/n) with n = Σ n_j.
+#pragma once
+
+#include <vector>
+
+namespace rlacast::model {
+
+struct PipeClass {
+  double pipe = 0.0;  // pipe size (packets)
+  int receivers = 0;  // receivers whose virtual link has this pipe size
+};
+
+class DriftField {
+ public:
+  /// Single-pipe constructor (the paper's Figure 4 uses n = 3, pipe = 10).
+  DriftField(int n, double pipe);
+
+  /// Multi-pipe staircase constructor; classes must be sorted by pipe size.
+  explicit DriftField(std::vector<PipeClass> classes);
+
+  /// Expected (dW1, dW2) per time unit (2 RTT) at state (w1, w2).
+  struct Vec {
+    double dx = 0.0;
+    double dy = 0.0;
+  };
+  Vec drift(double w1, double w2) const;
+
+  /// Number of congestion signals received per event at state (w1, w2):
+  /// 0 below the first pipe, m_j in staircase region j.
+  int signals_at(double w1, double w2) const;
+
+  int total_receivers() const { return n_; }
+
+ private:
+  /// Expected per-axis drift of a window of size w under m signals.
+  double axis_drift(double w, int m) const;
+
+  std::vector<PipeClass> classes_;
+  int n_ = 0;
+};
+
+}  // namespace rlacast::model

@@ -1,0 +1,80 @@
+#include "model/formulas.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rlacast::model {
+
+double tcp_pa_window(double p) {
+  assert(p > 0.0 && p < 1.0);
+  return std::sqrt(2.0 * (1.0 - p) / p);
+}
+
+double tcp_pa_window_approx(double p) {
+  assert(p > 0.0);
+  return std::sqrt(2.0 / p);
+}
+
+double tcp_throughput_mahdavi(double rtt, double p) {
+  assert(rtt > 0.0 && p > 0.0);
+  return 1.3 / (rtt * std::sqrt(p));
+}
+
+double rla_two_receiver_window(double p1, double p2) {
+  // Eq. (3). Derived from the four-outcome drift enumeration in §4.2.
+  const double cross = p1 * p2 / 4.0;
+  const double num = 4.0 * (1.0 - 0.5 * (p1 + p2) + cross);
+  const double den = p1 + p2 - cross;
+  assert(den > 0.0);
+  return std::sqrt(num / den);
+}
+
+double rla_common_loss_window(double p, int n) {
+  // Every congestion event delivers n simultaneous signals, each obeyed
+  // independently with probability 1/n, so the number of halvings is
+  // Binomial(n, 1/n):
+  //   gain  : (1-p)/W + p * P(i=0)/W
+  //   loss  : p * W * E[(1 - 2^-i) 1{i>=1}] = p * W * (1 - E[2^-i])
+  // with P(i=0) = (1-1/n)^n and E[2^-i] = (1 - 1/(2n))^n.
+  assert(p > 0.0 && p < 1.0 && n >= 1);
+  const double nn = static_cast<double>(n);
+  const double p0 = std::pow(1.0 - 1.0 / nn, nn);
+  const double e_half = std::pow(1.0 - 0.5 / nn, nn);
+  const double num = 1.0 - p + p * p0;
+  const double den = p * (1.0 - e_half);
+  return std::sqrt(num / den);
+}
+
+double rla_independent_loss_window(double p, int n) {
+  // Independent equal-probability losses: receiver j delivers a signal with
+  // probability p, obeyed with probability 1/n, so a halving arrives from
+  // receiver j with probability p/n independently; total halvings are
+  // Binomial(n, p/n):
+  //   W^2 = P(i=0) / (1 - E[2^-i])
+  // with P(i=0) = (1-p/n)^n and E[2^-i] = (1 - p/(2n))^n.
+  // For n = 1 (or n = 2, cf. eq. 3 with p1 = p2) this reduces to eq. (1)/(3).
+  assert(p > 0.0 && p < 1.0 && n >= 1);
+  const double nn = static_cast<double>(n);
+  const double p0 = std::pow(1.0 - p / nn, nn);
+  const double e_half = std::pow(1.0 - 0.5 * p / nn, nn);
+  return std::sqrt(p0 / (1.0 - e_half));
+}
+
+Bounds proposition_window_bounds(double p_max, int n) {
+  const double base = tcp_pa_window(p_max);
+  return {base, std::sqrt(static_cast<double>(n)) * base};
+}
+
+Bounds theorem1_red_bounds(int n) {
+  return {1.0 / 3.0, std::sqrt(3.0 * static_cast<double>(n))};
+}
+
+Bounds theorem2_droptail_bounds(int n) {
+  return {0.25, 2.0 * static_cast<double>(n)};
+}
+
+double troubled_ratio_threshold(double p1) {
+  return p1 / (2.0 - 1.5 * p1);
+}
+
+}  // namespace rlacast::model

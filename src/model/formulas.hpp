@@ -1,0 +1,59 @@
+// Closed-form results of §4 of the paper.
+//
+// All window sizes are "proportional average (PA)" windows: the zero-drift
+// point of the congestion-window random walk, which the paper (following
+// Ott/Kemperman/Mathis) uses as a proxy proportional to the true time
+// average.
+#pragma once
+
+namespace rlacast::model {
+
+/// Eq. (1): PA window of TCP congestion avoidance under congestion
+/// probability p:  W = sqrt(2(1-p)/p).
+double tcp_pa_window(double p);
+
+/// The √(2/p) small-p approximation of eq. (1).
+double tcp_pa_window_approx(double p);
+
+/// Mahdavi–Floyd TCP throughput estimate, packets/second:
+/// 1.3 / (rtt * sqrt(p)).
+double tcp_throughput_mahdavi(double rtt, double p);
+
+/// Eq. (3): PA window of the RLA sender with two receivers on independent
+/// loss paths with congestion probabilities p1 and p2 (pthresh = 1/2):
+///   W^2 = 4 { 1 - (p1+p2)/2 + p1 p2 /4 } / { p1 + p2 - p1 p2 /4 }.
+double rla_two_receiver_window(double p1, double p2);
+
+/// PA window for n receivers with *fully common* losses (every signal hits
+/// all receivers at once; pthresh = 1/n).  Derived with the same drift
+/// technique as eq. (3): on a congestion event the sender takes i cuts with
+/// probability Binom(n, 1/n); see DESIGN.md.
+double rla_common_loss_window(double p, int n);
+
+/// PA window for n receivers with independent losses of equal probability p
+/// (pthresh = 1/n), by the same drift construction.
+double rla_independent_loss_window(double p, int n);
+
+/// Proposition (eq. 2) bounds on the RLA PA window given n troubled
+/// receivers and the largest per-receiver congestion probability p_max:
+///   sqrt(2(1-p)/p) < W < sqrt(n) * sqrt(2(1-p)/p).
+struct Bounds {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double w) const { return lo < w && w < hi; }
+};
+Bounds proposition_window_bounds(double p_max, int n);
+
+/// Theorem I: essential-fairness throughput bounds with RED gateways:
+/// a = 1/3, b = sqrt(3 n).
+Bounds theorem1_red_bounds(int n);
+
+/// Theorem II: essential-fairness bounds with drop-tail gateways and phase
+/// effects eliminated: a = 1/4, b = 2 n.
+Bounds theorem2_droptail_bounds(int n);
+
+/// §4.2's troubled-receiver condition: the two-receiver upper bound of the
+/// Proposition holds when x = p2/p1 >= f(p1) = p1 / (2 - 1.5 p1).
+double troubled_ratio_threshold(double p1);
+
+}  // namespace rlacast::model

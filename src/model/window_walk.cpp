@@ -1,0 +1,67 @@
+#include "model/window_walk.hpp"
+
+#include <cmath>
+
+#include "model/formulas.hpp"
+
+namespace rlacast::model {
+namespace {
+
+/// Runs a walk given a per-step congestion-decision callback that returns
+/// the number of halvings to apply this step.
+template <typename CutsFn>
+WalkResult run_walk(double pa, std::int64_t steps, CutsFn&& cuts_fn) {
+  double w = pa;  // start at the predicted operating point
+  double sum = 0.0;
+  std::int64_t halvings = 0;
+  const std::int64_t warmup = steps / 10;
+  for (std::int64_t t = 0; t < steps + warmup; ++t) {
+    const int cuts = cuts_fn();
+    if (cuts == 0) {
+      w += 1.0 / w;
+    } else {
+      w = std::max(w / std::pow(2.0, cuts), 1.0);
+      halvings += cuts;
+    }
+    if (t >= warmup) sum += w;
+  }
+  WalkResult res;
+  res.mean_window = sum / static_cast<double>(steps);
+  res.pa_window = pa;
+  res.ratio = res.mean_window / pa;
+  res.observed_cut_prob =
+      static_cast<double>(halvings) / static_cast<double>(steps + warmup);
+  return res;
+}
+
+}  // namespace
+
+WalkResult walk_tcp(double p, std::int64_t steps, sim::Rng rng) {
+  return run_walk(tcp_pa_window(p), steps,
+                  [&] { return rng.chance(p) ? 1 : 0; });
+}
+
+WalkResult walk_rla_independent(double p, int n, std::int64_t steps,
+                                sim::Rng rng) {
+  const double q = 1.0 / static_cast<double>(n);
+  return run_walk(rla_independent_loss_window(p, n), steps, [&] {
+    int cuts = 0;
+    for (int i = 0; i < n; ++i)
+      if (rng.chance(p) && rng.chance(q)) ++cuts;
+    return cuts;
+  });
+}
+
+WalkResult walk_rla_common(double p, int n, std::int64_t steps,
+                           sim::Rng rng) {
+  const double q = 1.0 / static_cast<double>(n);
+  return run_walk(rla_common_loss_window(p, n), steps, [&] {
+    if (!rng.chance(p)) return 0;
+    int cuts = 0;
+    for (int i = 0; i < n; ++i)
+      if (rng.chance(q)) ++cuts;
+    return cuts;
+  });
+}
+
+}  // namespace rlacast::model

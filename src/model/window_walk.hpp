@@ -1,0 +1,39 @@
+// Monte-Carlo simulation of the per-packet congestion-window random walks
+// of §4.1/§4.2 — the processes whose zero-drift points give eq. (1) and
+// eq. (3).  Used to validate the paper's claim that the PA window "is a
+// good approximation to the time average of the random process W_t and in
+// fact is proportional to it".
+//
+// TCP walk (§4.1):   with prob 1-p: W += 1/W;  with prob p: W /= 2.
+// RLA walk (§4.2):   n receivers; per packet each receiver independently
+//   signals with prob p_i; each signal is obeyed with prob 1/n; W is halved
+//   once per obeyed signal (i obeyed signals -> W / 2^i), else W += 1/W.
+//   Common-loss variant: one signal event with prob p reaches all n
+//   receivers at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rlacast::model {
+
+struct WalkResult {
+  double mean_window = 0.0;      // time (= per-packet) average of W_t
+  double pa_window = 0.0;        // the zero-drift PA prediction
+  double ratio = 0.0;            // mean / PA
+  double observed_cut_prob = 0.0;  // halvings per packet (sanity)
+};
+
+/// TCP congestion-avoidance walk at loss probability p.
+WalkResult walk_tcp(double p, std::int64_t steps, sim::Rng rng);
+
+/// RLA walk with n receivers, each with independent signal probability p.
+WalkResult walk_rla_independent(double p, int n, std::int64_t steps,
+                                sim::Rng rng);
+
+/// RLA walk with fully common losses of probability p.
+WalkResult walk_rla_common(double p, int n, std::int64_t steps, sim::Rng rng);
+
+}  // namespace rlacast::model

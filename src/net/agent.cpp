@@ -1,0 +1,24 @@
+#include "net/agent.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+
+namespace rlacast::net {
+
+void SendPacer::send(const Packet& p) {
+  if (max_overhead_ <= 0.0) {
+    network_.inject(p);
+    return;
+  }
+  // Uniform random processing time, serialized so packets of one sender
+  // never reorder (the overhead models CPU time, not an independent path).
+  const sim::SimTime depart = std::max(
+      sim_.now() + rng_.uniform(0.0, max_overhead_), last_departure_);
+  last_departure_ = depart;
+  sim_.at(depart, [this, p] { inject(p); });
+}
+
+void SendPacer::inject(const Packet& p) { network_.inject(p); }
+
+}  // namespace rlacast::net

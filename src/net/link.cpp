@@ -1,0 +1,42 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+#include "net/network.hpp"
+
+namespace rlacast::net {
+
+Link::Link(sim::Simulator& sim, Network& network, NodeId from, NodeId to,
+           double bandwidth_bps, sim::SimTime delay,
+           std::unique_ptr<Queue> queue)
+    : sim_(sim),
+      network_(network),
+      from_(from),
+      to_(to),
+      bandwidth_bps_(bandwidth_bps),
+      delay_(delay),
+      queue_(std::move(queue)) {}
+
+void Link::transmit(const Packet& p) {
+  if (!queue_->enqueue(p, sim_.now())) return;  // dropped
+  pump();
+}
+
+void Link::pump() {
+  if (busy_) return;
+  auto next = queue_->dequeue(sim_.now());
+  if (!next) return;
+  busy_ = true;
+  const sim::SimTime serialize = tx_time(next->size_bytes);
+  // One event at serialization end: free the transmitter, launch the
+  // propagation leg, and serve the next queued packet.
+  sim_.after(serialize, [this, p = std::move(*next)]() mutable {
+    busy_ = false;
+    ++delivered_;
+    bytes_delivered_ += static_cast<std::uint64_t>(p.size_bytes);
+    sim_.after(delay_, [this, p = std::move(p)] { network_.deliver(to_, p); });
+    pump();
+  });
+}
+
+}  // namespace rlacast::net

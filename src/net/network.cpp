@@ -1,0 +1,134 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <deque>
+#include <string>
+
+namespace rlacast::net {
+
+NodeId Network::add_node() {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id));
+  return id;
+}
+
+std::unique_ptr<Queue> Network::make_queue(const LinkConfig& cfg) {
+  switch (cfg.queue) {
+    case QueueKind::kDropTail:
+      return std::make_unique<DropTailQueue>(cfg.buffer_pkts,
+                                             cfg.queue_slot_bytes);
+    case QueueKind::kRed: {
+      RedParams p = cfg.red;
+      p.capacity = cfg.buffer_pkts;
+      p.slot_bytes = cfg.queue_slot_bytes;
+      // mean service time for idle aging: assume the standard data packet.
+      p.mean_pkt_time =
+          static_cast<double>(kDataPacketBytes) * 8.0 / cfg.bandwidth_bps;
+      // Each RED queue gets an independent deterministic stream.
+      auto rng = sim_.rng_stream("red-queue-" + std::to_string(red_streams_++));
+      return std::make_unique<RedQueue>(p, std::move(rng));
+    }
+  }
+  return nullptr;
+}
+
+Link* Network::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
+  links_.push_back(std::make_unique<Link>(sim_, *this, from, to,
+                                          cfg.bandwidth_bps, cfg.delay,
+                                          make_queue(cfg)));
+  Link* l = links_.back().get();
+  node(from).add_out_link(l);
+  return l;
+}
+
+Network::Duplex Network::connect(NodeId a, NodeId b, const LinkConfig& cfg) {
+  return Duplex{add_link(a, b, cfg), add_link(b, a, cfg)};
+}
+
+void Network::build_routes() {
+  // BFS from every node over the out-link adjacency. Topologies in this
+  // project are tens of nodes, so O(V * (V + E)) is plenty fast.
+  const auto n = nodes_.size();
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<Link*> first_hop(n, nullptr);
+    std::vector<bool> seen(n, false);
+    std::deque<NodeId> frontier;
+    seen[src] = true;
+    frontier.push_back(static_cast<NodeId>(src));
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (Link* l : node(u).out_links()) {
+        const auto v = static_cast<std::size_t>(l->to());
+        if (seen[v]) continue;
+        seen[v] = true;
+        first_hop[v] =
+            (u == static_cast<NodeId>(src)) ? l : first_hop[static_cast<std::size_t>(u)];
+        frontier.push_back(l->to());
+      }
+    }
+    for (std::size_t dst = 0; dst < n; ++dst)
+      if (dst != src && first_hop[dst] != nullptr)
+        node(static_cast<NodeId>(src))
+            .set_route(static_cast<NodeId>(dst), first_hop[dst]);
+  }
+}
+
+void Network::join_group(GroupId g, NodeId source, NodeId member) {
+  // Walk the unicast route source -> member, grafting each hop onto the tree.
+  NodeId at = source;
+  while (at != member) {
+    Link* hop = node(at).route(member);
+    assert(hop != nullptr && "no route while grafting multicast tree");
+    node(at).add_group_link(g, hop);
+    at = hop->to();
+  }
+}
+
+void Network::attach(NodeId n, PortId port, Agent* agent) {
+  node(n).attach(port, agent);
+}
+
+void Network::subscribe(GroupId g, NodeId n, Agent* agent) {
+  node(n).subscribe(g, agent);
+}
+
+void Network::inject(Packet p) {
+  p.uid = next_uid_++;
+  deliver(p.src, p);
+}
+
+void Network::forward_multicast(Node& n, const Packet& p) {
+  if (const auto* links = n.group_links(p.group)) {
+    for (Link* l : *links) l->transmit(p);
+  }
+}
+
+void Network::deliver(NodeId at, const Packet& p) {
+  Node& n = node(at);
+  if (p.group != kNoGroup) {
+    // Local subscribers receive a copy; downstream branches get forwarded
+    // copies. Both can apply at interior nodes (e.g. gateway receivers in
+    // the heterogeneous-RTT experiment of §5.3).
+    if (const auto* subs = n.subscribers(p.group)) {
+      for (Agent* a : *subs) a->on_receive(p);
+    }
+    forward_multicast(n, p);
+    return;
+  }
+  if (p.dst == at) {
+    if (Agent* a = n.agent_at(p.dst_port)) a->on_receive(p);
+    return;
+  }
+  Link* hop = n.route(p.dst);
+  assert(hop != nullptr && "no route for unicast packet");
+  if (hop != nullptr) hop->transmit(p);
+}
+
+Link* Network::link_between(NodeId a, NodeId b) const {
+  for (const auto& l : links_)
+    if (l->from() == a && l->to() == b) return l.get();
+  return nullptr;
+}
+
+}  // namespace rlacast::net

@@ -1,0 +1,106 @@
+// Network: topology container, router, and packet injector.
+//
+// Owns all nodes and links, computes hop-count shortest-path routes (BFS),
+// grafts multicast distribution trees onto those routes, and moves packets:
+// Network::inject() starts a packet at its source node; Network::deliver()
+// is called by links when a packet reaches the far end of a hop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/drop_tail.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/red.hpp"
+#include "sim/simulator.hpp"
+
+namespace rlacast::net {
+
+enum class QueueKind { kDropTail, kRed };
+
+/// Per-hop configuration used when wiring a duplex link.
+struct LinkConfig {
+  double bandwidth_bps = 100e6;
+  sim::SimTime delay = sim::milliseconds(5);
+  QueueKind queue = QueueKind::kDropTail;
+  std::size_t buffer_pkts = 20;
+  /// Byte-mode queue accounting (ns-2 queue-in-bytes): buffers hold
+  /// buffer_pkts * queue_slot_bytes bytes, so 40-byte ACKs cost ~1/25 of a
+  /// data packet's room. 0 = classic per-packet counting. All the paper's
+  /// experiments use byte mode; per-packet mode is kept for unit tests.
+  std::int32_t queue_slot_bytes = kDataPacketBytes;
+  RedParams red{};  // min/max thresholds etc.; capacity overridden by buffer_pkts
+
+  LinkConfig with_bandwidth(double bps) const {
+    LinkConfig c = *this;
+    c.bandwidth_bps = bps;
+    return c;
+  }
+  LinkConfig with_delay(sim::SimTime d) const {
+    LinkConfig c = *this;
+    c.delay = d;
+    return c;
+  }
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_node();
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
+
+  /// Creates a pair of unidirectional links a->b and b->a, each with its own
+  /// queue built from `cfg`.
+  struct Duplex {
+    Link* forward;
+    Link* reverse;
+  };
+  Duplex connect(NodeId a, NodeId b, const LinkConfig& cfg);
+
+  /// Recomputes hop-count shortest-path routing tables for all nodes.
+  /// Call after the topology is final and before join_group().
+  void build_routes();
+
+  /// Grafts the unicast route source->member onto group g's tree.
+  void join_group(GroupId g, NodeId source, NodeId member);
+
+  /// Registers an agent at (node, port).
+  void attach(NodeId node, PortId port, Agent* agent);
+
+  /// Local group subscription for receiving multicast payload at a node.
+  void subscribe(GroupId g, NodeId node, Agent* agent);
+
+  /// Injects a packet at its source node. Assigns the uid.
+  void inject(Packet p);
+
+  /// Called by links on hop completion; also usable directly in tests.
+  void deliver(NodeId at, const Packet& p);
+
+  /// The unidirectional link from a to b, or nullptr.
+  Link* link_between(NodeId a, NodeId b) const;
+
+  sim::Simulator& simulator() { return sim_; }
+
+  std::uint64_t packets_injected() const { return next_uid_ - 1; }
+
+ private:
+  std::unique_ptr<Queue> make_queue(const LinkConfig& cfg);
+  Link* add_link(NodeId from, NodeId to, const LinkConfig& cfg);
+  void forward_multicast(Node& n, const Packet& p);
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t next_uid_ = 1;
+  int red_streams_ = 0;
+};
+
+}  // namespace rlacast::net

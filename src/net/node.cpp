@@ -1,0 +1,51 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rlacast::net {
+
+void Node::set_route(NodeId dst, Link* next_hop) {
+  assert(dst >= 0);
+  if (routes_.size() <= static_cast<std::size_t>(dst))
+    routes_.resize(static_cast<std::size_t>(dst) + 1, nullptr);
+  routes_[static_cast<std::size_t>(dst)] = next_hop;
+}
+
+Link* Node::route(NodeId dst) const {
+  if (dst < 0 || static_cast<std::size_t>(dst) >= routes_.size())
+    return nullptr;
+  return routes_[static_cast<std::size_t>(dst)];
+}
+
+void Node::add_group_link(GroupId g, Link* l) {
+  auto& links = group_links_[g];
+  if (std::find(links.begin(), links.end(), l) == links.end())
+    links.push_back(l);
+}
+
+const std::vector<Link*>* Node::group_links(GroupId g) const {
+  const auto it = group_links_.find(g);
+  return it == group_links_.end() ? nullptr : &it->second;
+}
+
+void Node::attach(PortId port, Agent* agent) {
+  assert(agents_.find(port) == agents_.end() && "port already in use");
+  agents_[port] = agent;
+}
+
+void Node::subscribe(GroupId g, Agent* agent) {
+  subscribers_[g].push_back(agent);
+}
+
+Agent* Node::agent_at(PortId port) const {
+  const auto it = agents_.find(port);
+  return it == agents_.end() ? nullptr : it->second;
+}
+
+const std::vector<Agent*>* Node::subscribers(GroupId g) const {
+  const auto it = subscribers_.find(g);
+  return it == subscribers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rlacast::net

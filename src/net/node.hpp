@@ -1,0 +1,50 @@
+// Node: a router or end host.
+//
+// Routers forward by destination (unicast) or by group membership of their
+// outgoing links (multicast; the forwarding sets are grafted from unicast
+// routes by Network::join_group, giving a source-rooted shortest-path tree,
+// exactly the dense-mode distribution tree the paper assumes).
+// End hosts additionally hold agents, keyed by port, and group subscriptions.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/agent.hpp"
+#include "net/packet.hpp"
+
+namespace rlacast::net {
+
+class Link;
+
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+
+  // --- forwarding state (managed by Network) -------------------------------
+  void set_route(NodeId dst, Link* next_hop);
+  Link* route(NodeId dst) const;
+  void add_group_link(GroupId g, Link* l);
+  const std::vector<Link*>* group_links(GroupId g) const;
+
+  // --- local delivery -------------------------------------------------------
+  void attach(PortId port, Agent* agent);
+  void subscribe(GroupId g, Agent* agent);
+  Agent* agent_at(PortId port) const;
+  const std::vector<Agent*>* subscribers(GroupId g) const;
+
+  void add_out_link(Link* l) { out_links_.push_back(l); }
+  const std::vector<Link*>& out_links() const { return out_links_; }
+
+ private:
+  NodeId id_;
+  std::vector<Link*> routes_;  // indexed by destination node id
+  std::unordered_map<GroupId, std::vector<Link*>> group_links_;
+  std::unordered_map<PortId, Agent*> agents_;
+  std::unordered_map<GroupId, std::vector<Agent*>> subscribers_;
+  std::vector<Link*> out_links_;
+};
+
+}  // namespace rlacast::net

@@ -1,0 +1,37 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace rlacast::net {
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  switch (type) {
+    case PacketType::kData:
+      os << "DATA";
+      break;
+    case PacketType::kAck:
+      os << "ACK";
+      break;
+    case PacketType::kReport:
+      os << "REPORT";
+      break;
+    case PacketType::kCtrl:
+      os << "CTRL";
+      break;
+  }
+  os << " uid=" << uid << " flow=" << flow << " " << src << "->";
+  if (group != kNoGroup)
+    os << "g" << group;
+  else
+    os << dst;
+  if (seq != kNoSeq) os << " seq=" << seq;
+  if (ack != kNoSeq) os << " ack=" << ack;
+  for (int i = 0; i < n_sack; ++i)
+    os << " sack[" << sack[i].lo << "," << sack[i].hi << ")";
+  if (receiver_id >= 0) os << " rcvr=" << receiver_id;
+  if (is_rexmit) os << " rexmit";
+  return os.str();
+}
+
+}  // namespace rlacast::net

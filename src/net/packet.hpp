@@ -1,0 +1,85 @@
+// Packet: the unit of exchange in the simulated network.
+//
+// Packets are plain value types (no heap allocations) so that multicast
+// fan-out — which copies a packet once per outgoing branch — is cheap.
+// Sequence numbers count packets, not bytes, following the convention of the
+// paper and of ns-2's one-packet-per-segment TCP agents.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rlacast::net {
+
+using NodeId = std::int32_t;
+using FlowId = std::int32_t;
+using GroupId = std::int32_t;
+using PortId = std::int32_t;
+using SeqNum = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr GroupId kNoGroup = -1;
+inline constexpr SeqNum kNoSeq = -1;
+
+enum class PacketType : std::uint8_t {
+  kData,    // payload segment (TCP or multicast)
+  kAck,     // cumulative + selective acknowledgment
+  kReport,  // receiver loss report (rate-based baselines)
+  kCtrl,    // other control (rate adjustments from baseline senders)
+};
+
+/// Half-open SACK block [lo, hi) of packet sequence numbers.
+struct SackBlock {
+  SeqNum lo = 0;
+  SeqNum hi = 0;
+  bool contains(SeqNum s) const { return s >= lo && s < hi; }
+  bool operator==(const SackBlock&) const = default;
+};
+
+/// Maximum SACK blocks carried per ACK; RFC 2018 allows 3-4 with timestamps.
+inline constexpr int kMaxSackBlocks = 3;
+
+struct Packet {
+  std::uint64_t uid = 0;  // unique per simulator, assigned by Network
+  PacketType type = PacketType::kData;
+  FlowId flow = -1;
+
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;        // unicast destination; ignored if group set
+  GroupId group = kNoGroup;    // multicast group, or kNoGroup for unicast
+  PortId src_port = 0;
+  PortId dst_port = 0;
+
+  std::int32_t size_bytes = 1000;
+
+  // --- transport header ----------------------------------------------------
+  SeqNum seq = kNoSeq;   // data sequence number (packets)
+  SeqNum ack = kNoSeq;   // cumulative ACK: everything < ack received
+  std::array<SackBlock, kMaxSackBlocks> sack{};
+  std::uint8_t n_sack = 0;
+  sim::SimTime ts_echo = 0.0;   // sender timestamp echoed by the receiver
+  std::int32_t receiver_id = -1;  // multicast receiver index (ACK demux)
+  bool is_rexmit = false;
+  bool urgent_rexmit_request = false;  // receiver asks for immediate unicast rexmit
+
+  // --- ECN (RFC 3168-style, simplified to packet granularity) ---------------
+  bool ect = false;  // ECN-capable transport (set by senders that opt in)
+  bool ce = false;   // congestion experienced (set by marking gateways)
+  bool ece = false;  // echo of ce on the ACK path
+
+  // --- baseline (rate-based) control payload --------------------------------
+  double report_loss_rate = 0.0;   // EWMA loss rate carried by kReport
+  std::int64_t report_received = 0;  // packets received in monitor period
+
+  /// One-line debug rendering used in traces and test failure messages.
+  std::string describe() const;
+};
+
+/// Standard sizes used throughout the paper's experiments.
+inline constexpr std::int32_t kDataPacketBytes = 1000;
+inline constexpr std::int32_t kAckPacketBytes = 40;
+
+}  // namespace rlacast::net

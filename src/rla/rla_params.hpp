@@ -1,0 +1,107 @@
+// Tunables of the Random Listening Algorithm, with the defaults the paper
+// recommends or uses in its evaluation (§3.3, §5).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace rlacast::rla {
+
+struct RlaParams {
+  double initial_cwnd = 1.0;
+  double initial_ssthresh = 64.0;
+  double max_cwnd = 1e6;
+  int dupthresh = 3;  // "at least three higher" SACK loss rule (§3.3 rule 1)
+  std::int32_t packet_bytes = net::kDataPacketBytes;
+  std::int32_t ack_bytes = net::kAckPacketBytes;
+
+  /// η of §3.3 rule 6: a congested receiver is troubled only if its average
+  /// congestion-signal interval is below η * min_congestion_interval
+  /// (equivalently its congestion probability exceeds p_max/η).  The proof
+  /// in §4.2 needs the ratio above p_1/(2 - 1.5 p_1) ≈ 0.026 at p ≤ 5%;
+  /// η = 20 (ratio 0.05) is the recommended setting.
+  double eta = 20.0;
+
+  /// EWMA gain of awnd, the moving average of cwnd used by the forced-cut
+  /// guard. Updated once per reach-all acknowledgment.
+  double awnd_gain = 0.01;
+
+  /// EWMA gain of the per-receiver congestion-signal interval estimate.
+  double signal_interval_gain = 0.25;
+
+  /// Forced-cut guard multiplier: force a halving if the last cut is more
+  /// than `forced_cut_factor * awnd * srtt_i` in the past (§3.3 rule 3).
+  /// The paper's (ad hoc, but validated) choice is 2.
+  double forced_cut_factor = 2.0;
+
+  /// Congestion-signal grouping window, in units of srtt_i (§3.3 rule 2).
+  double grouping_rtts = 2.0;
+
+  /// Retransmission goes out by multicast when more than this many
+  /// receivers are missing the packet, else by unicast (§3.3; the paper's
+  /// simulations use 0 = always multicast).
+  int rexmit_thresh = 0;
+
+  /// Exponent k of f(x) = x^k in the generalized pthresh
+  /// f(srtt_i/srtt_max)/num_trouble_rcvr for heterogeneous RTTs (§5.3).
+  /// k = 0 reproduces the original RLA (pthresh = 1/num_trouble_rcvr);
+  /// the paper's heterogeneous experiments use k = 2.
+  double rtt_exponent = 0.0;
+
+  /// §2's "ideal situation": a controllable constant c such that the
+  /// session obtains roughly c times a competing TCP's share. Weight w
+  /// scales the congestion-avoidance growth by w and the listening
+  /// probability by 1/w (MulTCP-style emulation of w TCP flows), so the
+  /// zero-drift window scales ~linearly in w. 1.0 = the paper's RLA.
+  double fairness_weight = 1.0;
+
+  /// Testing/ablation override: when >= 0, pthresh is this constant instead
+  /// of f(srtt_i/srtt_max)/num_trouble_rcvr.  1.0 yields the naive
+  /// listen-to-every-signal multicast sender whose throughput §3.2 argues
+  /// collapses as the receiver count grows.
+  double fixed_pthresh = -1.0;
+
+  /// Receiver buffer B: the send window's upper bound never exceeds
+  /// min_last_ack + B (§3.3 rule 5).
+  std::int64_t receiver_buffer = 1'000'000;
+
+  /// Max packets launched per ACK event, to keep a suddenly-opened window
+  /// from bursting (the paper's "fast-recovery mechanism to prevent a
+  /// suddenly widely-open window").
+  int max_burst = 4;
+
+  /// New data is released only once the window has this much unused room,
+  /// and then as a back-to-back burst. 1 sends as soon as a slot opens
+  /// (smooth, paced-like stream). Values near a TCP burst size make the
+  /// multicast stream cluster like its TCP competitors, which equalizes
+  /// drop-tail loss rates (§3.1's premise that all senders "send packets in
+  /// a fashion similar" — see EXPERIMENTS.md on the drop-tail phase effect).
+  int send_quantum = 1;
+
+  /// Random per-packet sender processing time, Uniform(0, max): §3.1's
+  /// phase-effect elimination for drop-tail gateways. 0 disables.
+  sim::SimTime max_send_overhead = 0.0;
+
+  /// ECN: mark data ECN-capable; an echoed CE from receiver i enters the
+  /// same congestion-period grouping and random-listening decision as a
+  /// loss from receiver i — congestion control without packet loss. Needs
+  /// ECN-enabled RED gateways. (The paper's §3.3 remark that "any changes
+  /// to networks to improve TCP performance can be easily incorporated"
+  /// made concrete.)
+  bool ecn = false;
+
+  /// §4.3 option: permanently drop the most congested receiver when its
+  /// signal rate dominates (disabled by default, as in the paper's runs).
+  bool enable_slow_receiver_drop = false;
+  /// A receiver is dropped if it alone accounts for more than this fraction
+  /// of all congestion signals after `slow_drop_min_signals` signals.
+  double slow_drop_fraction = 0.9;
+  std::uint64_t slow_drop_min_signals = 200;
+
+  tcp::RttEstimatorParams rtt{};
+};
+
+}  // namespace rlacast::rla

@@ -1,0 +1,73 @@
+#include "rla/rla_receiver.hpp"
+
+#include <string>
+
+namespace rlacast::rla {
+
+RlaReceiver::RlaReceiver(net::Network& network, net::NodeId node,
+                         net::PortId port, net::GroupId group,
+                         net::NodeId sender_node, net::PortId sender_port,
+                         int id, Options options)
+    : network_(network),
+      node_(node),
+      port_(port),
+      group_(group),
+      sender_node_(sender_node),
+      sender_port_(sender_port),
+      id_(id),
+      options_(options),
+      ack_pacer_(network.simulator(), network,
+                 network.simulator().rng_stream(
+                     "rla-ack-overhead-" + std::to_string(node) + "-" +
+                     std::to_string(id)),
+                 options.max_ack_overhead) {
+  // Unicast retransmissions arrive addressed to (node, port); multicast
+  // payload arrives via the group subscription.
+  network_.attach(node_, port_, this);
+  network_.subscribe(group_, node_, this);
+}
+
+void RlaReceiver::on_receive(const net::Packet& p) {
+  if (p.type != net::PacketType::kData) return;
+  if (options_.resume_at_first_packet && buf_.cum_ack() == 0 &&
+      buf_.highest() == 0 && p.seq > 0)
+    buf_.start_at(p.seq);
+  if (buf_.add(p.seq))
+    ++received_;
+  else
+    ++duplicates_;
+
+  net::Packet ack;
+  ack.type = net::PacketType::kAck;
+  ack.flow = p.flow;
+  ack.src = node_;
+  ack.dst = sender_node_;
+  ack.src_port = port_;
+  ack.dst_port = sender_port_;
+  ack.size_bytes = options_.ack_bytes;
+  ack.ack = buf_.cum_ack();
+  ack.seq = p.seq;
+  ack.ts_echo = p.ts_echo;
+  ack.ece = p.ce;  // echo a congestion-experienced mark (ECN)
+  ack.receiver_id = id_;
+  ack.n_sack = static_cast<std::uint8_t>(
+      buf_.sack_blocks(ack.sack.data(), net::kMaxSackBlocks));
+
+  // Urgent-retransmission request when a hole persists (optional).
+  if (options_.urgent_after_stuck_acks > 0) {
+    if (buf_.cum_ack() == stuck_cum_ && buf_.highest() > buf_.cum_ack()) {
+      if (++stuck_acks_ >= options_.urgent_after_stuck_acks) {
+        ack.urgent_rexmit_request = true;
+        ++urgent_requests_;
+        stuck_acks_ = 0;
+      }
+    } else {
+      stuck_cum_ = buf_.cum_ack();
+      stuck_acks_ = 0;
+    }
+  }
+
+  ack_pacer_.send(ack);
+}
+
+}  // namespace rlacast::rla

@@ -1,0 +1,77 @@
+// RLA multicast receiver.
+//
+// Subscribes to the session's multicast group, reassembles the packet
+// stream, and acknowledges every received data packet (multicast original,
+// multicast retransmission, or unicast retransmission) with a unicast
+// SACK-format ACK carrying its receiver id — the same ACK format as TCP
+// SACK, per §3.3 rule 1.
+//
+// Optionally sets the urgent-retransmission flag on its ACKs when the same
+// hole has persisted across many ACKs, which the sender answers with an
+// immediate unicast retransmission (the paper's "the receiver can also
+// trigger an immediate retransmission of a lost packet by unicast if it
+// sets a field in the packet").
+#pragma once
+
+#include "net/agent.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+#include "tcp/reassembly.hpp"
+
+namespace rlacast::rla {
+
+struct RlaReceiverOptions {
+  std::int32_t ack_bytes = net::kAckPacketBytes;
+  /// 0 disables urgent requests; otherwise request after this many
+  /// consecutive ACKs with an unchanged cumulative point and data above it.
+  int urgent_after_stuck_acks = 0;
+  /// Late-join stream resumption: the first data packet received defines
+  /// the start of this receiver's stream (everything earlier is not owed).
+  /// Enable for receivers joining an in-progress session.
+  bool resume_at_first_packet = false;
+  /// Random per-ACK processing time, Uniform(0, max). Essential with
+  /// drop-tail gateways: a multicast packet reaches all receivers of a
+  /// balanced tree at the same instant, so without receiver-side jitter
+  /// their ACKs hit shared reverse queues as a simultaneous burst and the
+  /// tail of the burst is deterministically dropped every round — the §3.1
+  /// phase effect on the feedback path.
+  sim::SimTime max_ack_overhead = 0.0;
+};
+
+class RlaReceiver final : public net::Agent {
+ public:
+  using Options = RlaReceiverOptions;
+
+  /// `id` is this receiver's index within the session (echoed in ACKs).
+  RlaReceiver(net::Network& network, net::NodeId node, net::PortId port,
+              net::GroupId group, net::NodeId sender_node,
+              net::PortId sender_port, int id, Options options = {});
+
+  void on_receive(const net::Packet& p) override;
+
+  int id() const { return id_; }
+  const tcp::ReassemblyBuffer& buffer() const { return buf_; }
+  std::uint64_t data_packets_received() const { return received_; }
+  std::uint64_t duplicates_received() const { return duplicates_; }
+  std::uint64_t urgent_requests_sent() const { return urgent_requests_; }
+
+ private:
+  net::Network& network_;
+  net::NodeId node_;
+  net::PortId port_;
+  net::GroupId group_;
+  net::NodeId sender_node_;
+  net::PortId sender_port_;
+  int id_;
+  Options options_;
+
+  net::SendPacer ack_pacer_;
+  tcp::ReassemblyBuffer buf_;
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t urgent_requests_ = 0;
+  net::SeqNum stuck_cum_ = -1;
+  int stuck_acks_ = 0;
+};
+
+}  // namespace rlacast::rla

@@ -1,0 +1,456 @@
+#include "rla/rla_sender.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace rlacast::rla {
+
+RlaSender::RlaSender(net::Network& network, net::NodeId node, net::PortId port,
+                     net::GroupId group, net::FlowId flow, RlaParams params)
+    : network_(network),
+      sim_(network.simulator()),
+      node_(node),
+      port_(port),
+      group_(group),
+      flow_(flow),
+      params_(params),
+      pacer_(sim_, network,
+             sim_.rng_stream("rla-overhead-" + std::to_string(flow)),
+             params.max_send_overhead),
+      listen_rng_(sim_.rng_stream("rla-listen-" + std::to_string(flow))),
+      timeout_timer_(sim_, [this] { on_timeout(); }),
+      census_(params.eta, params.signal_interval_gain),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh),
+      awnd_(params.initial_cwnd) {
+  network_.attach(node_, port_, this);
+  meas_.note_cwnd(0.0, cwnd_);
+}
+
+int RlaSender::add_receiver(net::NodeId node, net::PortId port) {
+  rcvrs_.push_back(std::make_unique<ReceiverState>(params_.rtt));
+  rcvrs_.back()->node = node;
+  rcvrs_.back()->port = port;
+  const int idx = census_.add_receiver();
+  // Late join: the newcomer's sequence space starts at the send frontier —
+  // it is not owed data transmitted before it existed, and it must not drag
+  // max_reach_all below the already-acknowledged prefix. (Beyond 64
+  // receivers, per-packet RTT coverage masks saturate and mark_covered
+  // skips the extra indices; everything else scales.)
+  rcvrs_.back()->sb.reset(next_seq_);
+  return idx;
+}
+
+void RlaSender::remove_receiver(int idx) {
+  if (idx < 0 || static_cast<std::size_t>(idx) >= rcvrs_.size()) return;
+  if (census_.excluded(idx)) return;
+  census_.exclude(idx);
+  census_.recompute(sim_.now());
+  // The departed receiver may have been the slowest: recompute the frontier
+  // and resume sending if its absence opened the window.
+  advance_reach_all();
+  send_new_data(params_.max_burst);
+}
+
+void RlaSender::start_at(sim::SimTime when) {
+  sim_.at(when, [this] {
+    started_ = true;
+    meas_.note_cwnd(sim_.now(), cwnd_);
+    send_new_data(params_.max_burst);
+  });
+}
+
+net::SeqNum RlaSender::min_last_ack() const {
+  net::SeqNum m = next_seq_;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    if (census_.excluded(static_cast<int>(i))) continue;
+    m = std::min(m, rcvrs_[i]->sb.una());
+  }
+  return m;
+}
+
+double RlaSender::max_srtt() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    if (census_.excluded(static_cast<int>(i))) continue;
+    m = std::max(m, rcvrs_[i]->rtt.srtt());
+  }
+  return m;
+}
+
+double RlaSender::pthresh_for(int rcvr) const {
+  if (params_.fixed_pthresh >= 0.0) return params_.fixed_pthresh;
+  const int n = std::max(census_.num_troubled(), 1);
+  double f = 1.0;
+  if (params_.rtt_exponent > 0.0) {
+    const double smax = max_srtt();
+    if (smax > 0.0) {
+      const double x = std::clamp(
+          rcvrs_[static_cast<std::size_t>(rcvr)]->rtt.srtt() / smax, 0.0, 1.0);
+      f = std::pow(x, params_.rtt_exponent);
+    }
+  }
+  // The fairness weight divides the listening probability (w emulated
+  // flows each hear 1/w of the signals aimed at the aggregate).
+  return std::clamp(f / (static_cast<double>(n) * params_.fairness_weight),
+                    0.0, 1.0);
+}
+
+void RlaSender::on_receive(const net::Packet& p) {
+  if (p.type != net::PacketType::kAck) return;
+  const int idx = p.receiver_id;
+  if (idx < 0 || static_cast<std::size_t>(idx) >= rcvrs_.size()) return;
+  ++acks_received_;
+  on_ack(p, *rcvrs_[static_cast<std::size_t>(idx)], idx);
+}
+
+void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
+  if (census_.excluded(idx)) return;
+
+  // Per-receiver RTT estimate (Karn: skip samples off retransmitted seqs —
+  // a multicast retransmission poisons the echo for every receiver, so the
+  // global ever_rexmitted flag is the correct guard).
+  if (ack.seq != net::kNoSeq && ack.ts_echo > 0.0) {
+    const auto it = send_info_.find(ack.seq);
+    const bool clean = it == send_info_.end() || !it->second.ever_rexmitted;
+    if (clean && !r.sb.was_retransmitted(ack.seq))
+      r.rtt.add_sample(sim_.now() - ack.ts_echo);
+  }
+
+  if (r.sb.advance(ack.ack) > 0) r.rtt.reset_backoff();
+  r.sb.apply_sack(ack.sack.data(), ack.n_sack);
+  mark_covered(ack, idx);
+  const int new_losses = r.sb.detect_losses(params_.dupthresh);
+
+  // Rule 2: a new congestion period only starts beyond 2*srtt_i of the last
+  // one; losses inside the window are grouped into the same signal. An ECN
+  // echo is a congestion indication of equal rank — it enters the same
+  // grouping, so a mark plus losses in one buffer period stay one signal.
+  if (new_losses > 0 || (params_.ecn && ack.ece)) {
+    const double srtt = r.rtt.srtt();
+    if (sim_.now() > r.cperiod_start + params_.grouping_rtts * srtt) {
+      r.cperiod_start = sim_.now();
+      handle_congestion_signal(r, idx);
+    }
+  }
+
+  // A lost *retransmission* would otherwise only be recoverable by the full
+  // timeout: re-arm the head-of-line hole for repair once the previous
+  // repair has clearly failed (no ACK within this receiver's RTO of it).
+  if (!census_.excluded(idx)) {
+    const net::SeqNum hol = first_missing(r);
+    if (hol < r.sb.high() && r.sb.is_lost(hol) &&
+        r.sb.was_retransmitted(hol)) {
+      const auto it = send_info_.find(hol);
+      if (it != send_info_.end() &&
+          sim_.now() - it->second.last_rexmit > r.rtt.rto())
+        r.sb.clear_retransmitted(hol);
+    }
+  }
+
+  // Retransmission handling is independent of the listening decision: every
+  // newly detected hole is repaired. (The signal handler above may have
+  // excluded this receiver via the slow-drop option — then its holes are
+  // nobody's problem anymore.)
+  net::SeqNum s;
+  while (!census_.excluded(idx) &&
+         (s = r.sb.next_to_retransmit()) != net::kNoSeq)
+    maybe_retransmit(s, idx, ack.urgent_rexmit_request);
+
+  // New data is clocked by reach-all advances (inside advance_reach_all),
+  // mirroring TCP's cumulative-ACK clocking: one send trigger per packet
+  // acknowledged by all, so the multicast sender's arrival pattern at the
+  // bottleneck stays as bursty as its TCP competitors' (§3.1 requires the
+  // senders to "send packets in a fashion similar to the TCP senders" for
+  // the equal-congestion-frequency argument to hold). A SACK-only ACK that
+  // shrank some pipe still triggers a conservation send below, or recovery
+  // could stall the session.
+  advance_reach_all();
+  if (r.sb.lost_count() > 0) send_new_data(params_.max_burst);
+}
+
+void RlaSender::handle_congestion_signal(ReceiverState& r, int idx) {
+  meas_.note_congestion_signal();
+  census_.on_signal(idx, sim_.now());
+  census_.recompute(sim_.now());
+  maybe_drop_slowest(idx);
+
+  // Rule 3, step 1: rare losses from untroubled receivers are ignored.
+  if (!census_.troubled(idx)) return;
+
+  // Step 2: forced-cut — protect against arbitrarily long cut-free runs.
+  // Under the generalized pthresh (heterogeneous RTTs), the guard interval
+  // uses the session's largest srtt: a short-RTT receiver signals often and
+  // a per-receiver guard would bypass the f(srtt_i/srtt_max) discount that
+  // rule 3 just applied.
+  const double guard_srtt =
+      params_.rtt_exponent > 0.0 ? max_srtt() : r.rtt.srtt();
+  if (sim_.now() - last_window_cut_ >
+      params_.forced_cut_factor * awnd_ * guard_srtt) {
+    cut_window(/*forced=*/true);
+    return;
+  }
+
+  // Step 3: randomized-cut — listen with probability pthresh.
+  if (listen_rng_.uniform() <= pthresh_for(idx)) cut_window(/*forced=*/false);
+}
+
+void RlaSender::cut_window(bool forced) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  set_cwnd(std::max(cwnd_ / 2.0, 1.0));
+  last_window_cut_ = sim_.now();
+  meas_.note_window_cut();
+  if (forced) meas_.note_forced_cut();
+}
+
+void RlaSender::set_cwnd(double w) {
+  cwnd_ = std::clamp(w, 1.0, params_.max_cwnd);
+  meas_.note_cwnd(sim_.now(), cwnd_);
+}
+
+std::uint64_t RlaSender::active_mask() const {
+  std::uint64_t m = 0;
+  for (std::size_t i = 0; i < rcvrs_.size() && i < 64; ++i)
+    if (!census_.excluded(static_cast<int>(i))) m |= 1ULL << i;
+  return m;
+}
+
+void RlaSender::mark_one(net::SeqNum seq, SendInfo& info, std::uint64_t bit) {
+  if (info.rtt_sampled) return;
+  info.acked_mask |= bit;
+  const std::uint64_t need = active_mask();
+  if ((info.acked_mask & need) == need) {
+    info.rtt_sampled = true;
+    if (!info.ever_rexmitted)
+      meas_.note_rtt(sim_.now(), sim_.now() - info.first_sent);
+  }
+  (void)seq;
+}
+
+void RlaSender::mark_covered(const net::Packet& ack, int idx) {
+  if (idx >= 64) return;  // RTT sampling supports the paper-scale sessions
+  const std::uint64_t bit = 1ULL << idx;
+  // Cumulative region: send_info_ only holds seqs >= max_reach_all_, so the
+  // walk below touches the not-yet-reached window prefix only.
+  for (auto it = send_info_.begin();
+       it != send_info_.end() && it->first < ack.ack; ++it)
+    mark_one(it->first, it->second, bit);
+  for (int b = 0; b < ack.n_sack; ++b) {
+    auto it = send_info_.lower_bound(ack.sack[static_cast<std::size_t>(b)].lo);
+    for (; it != send_info_.end() &&
+           it->first < ack.sack[static_cast<std::size_t>(b)].hi;
+         ++it)
+      mark_one(it->first, it->second, bit);
+  }
+}
+
+net::SeqNum RlaSender::first_missing(const ReceiverState& r) const {
+  net::SeqNum s = r.sb.una();
+  while (s < r.sb.high() && r.sb.is_sacked(s)) ++s;
+  return s;
+}
+
+void RlaSender::advance_reach_all() {
+  net::SeqNum reach = next_seq_;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    if (census_.excluded(static_cast<int>(i))) continue;
+    reach = std::min(reach, first_missing(*rcvrs_[i]));
+  }
+  if (reach <= max_reach_all_) return;
+
+  const std::int64_t m = reach - max_reach_all_;
+  // Rule 4: growth is driven by packets acknowledged by ALL receivers.
+  // The fairness weight scales congestion-avoidance growth (w emulated
+  // flows probe w packets per RTT).
+  for (std::int64_t k = 0; k < m; ++k) {
+    if (cwnd_ < ssthresh_)
+      cwnd_ += 1.0;
+    else
+      cwnd_ += params_.fairness_weight / std::floor(cwnd_);
+  }
+  set_cwnd(cwnd_);
+  awnd_ += params_.awnd_gain * (cwnd_ - awnd_);
+  meas_.note_acked(m);
+
+  // RTT sampling happens in mark_one() the instant the last receiver's ACK
+  // covers a packet; here the bookkeeping below the new reach point is
+  // simply discarded.
+  send_info_.erase(send_info_.begin(), send_info_.lower_bound(reach));
+  max_reach_all_ = reach;
+  restart_timeout_timer();
+  send_new_data(params_.max_burst);
+}
+
+void RlaSender::maybe_retransmit(net::SeqNum seq, int requester_idx,
+                                 bool urgent) {
+  auto& info = send_info_[seq];
+  // Rate-limit repairs of the same packet: one per max-srtt unless urgent.
+  const double guard = std::max(max_srtt(), 1e-3);
+  if (!urgent && sim_.now() - info.last_rexmit < guard) {
+    // Mark per-receiver so next_to_retransmit() makes progress; the packet
+    // is already on its way (or will be re-repaired after the guard).
+    rcvrs_[static_cast<std::size_t>(requester_idx)]->sb.on_retransmit(seq);
+    return;
+  }
+
+  // Count receivers currently missing the packet.
+  std::vector<int> missing;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    if (census_.excluded(static_cast<int>(i))) continue;
+    const auto& sb = rcvrs_[i]->sb;
+    if (seq >= sb.una() && seq < sb.high() && !sb.is_sacked(seq))
+      missing.push_back(static_cast<int>(i));
+  }
+  if (missing.empty()) {
+    // Nobody (still in the session) is missing it; mark the requester's
+    // scoreboard so its retransmit scan makes progress.
+    rcvrs_[static_cast<std::size_t>(requester_idx)]->sb.on_retransmit(seq);
+    return;
+  }
+
+  info.last_rexmit = sim_.now();
+  info.ever_rexmitted = true;
+  // The repair deserves a full RTO before the stall is declared a timeout.
+  restart_timeout_timer();
+
+  if (static_cast<int>(missing.size()) > params_.rexmit_thresh && !urgent) {
+    // Multicast repair.
+    for (auto& r : rcvrs_) r->sb.on_retransmit(seq);
+    send_data_packet(seq, /*rexmit=*/true, net::kNoNode, 0);
+    ++mcast_rexmits_;
+  } else {
+    // Unicast repair to each requester (or just the urgent one).
+    for (int i : missing) {
+      auto& r = *rcvrs_[static_cast<std::size_t>(i)];
+      r.sb.on_retransmit(seq);
+      send_data_packet(seq, /*rexmit=*/true, r.node, r.port);
+      ++ucast_rexmits_;
+    }
+  }
+}
+
+void RlaSender::send_new_data(int budget) {
+  if (!started_ || rcvrs_.empty()) return;
+  // Conservation of packets on the most loaded branch: new data may go out
+  // while every receiver's pipe (outstanding, not SACKed, not known-lost-
+  // unrepaired) has room under cwnd. This is the fast-recovery behaviour
+  // the paper's implementation notes describe — a repair in flight must not
+  // leave the sender idle when later packets are already SACKed.
+  // Rule 5's buffer bound still applies: never beyond min_last_ack + B.
+  const net::SeqNum by_buffer = min_last_ack() + params_.receiver_buffer;
+  std::int64_t max_pipe = 0;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i)
+    if (!census_.excluded(static_cast<int>(i)))
+      max_pipe = std::max(max_pipe, rcvrs_[i]->sb.pipe());
+  // Quantized release: wait until a burst's worth of slots is free, then
+  // send back-to-back. The quantum is capped at half the window so small
+  // windows (session start, post-timeout) still flow.
+  const std::int64_t quantum =
+      std::min<std::int64_t>(params_.send_quantum,
+                             std::max<std::int64_t>(1, static_cast<std::int64_t>(cwnd_) / 2));
+  if (static_cast<std::int64_t>(cwnd_) - max_pipe < quantum) return;
+  while (budget-- > 0 && next_seq_ < by_buffer &&
+         max_pipe < static_cast<std::int64_t>(cwnd_)) {
+    // Increment first: the retransmission timer armed inside
+    // send_data_packet must see the packet as outstanding, or the very
+    // first packet of a session races the timer and a startup loss would
+    // deadlock the connection.
+    const net::SeqNum seq = next_seq_++;
+    send_data_packet(seq, /*rexmit=*/false, net::kNoNode, 0);
+    ++max_pipe;
+  }
+}
+
+void RlaSender::send_data_packet(net::SeqNum seq, bool rexmit,
+                                 net::NodeId unicast_to,
+                                 net::PortId unicast_port) {
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.flow = flow_;
+  p.src = node_;
+  p.src_port = port_;
+  p.size_bytes = params_.packet_bytes;
+  p.seq = seq;
+  p.ts_echo = sim_.now();
+  p.is_rexmit = rexmit;
+  p.ect = params_.ecn;
+  if (unicast_to == net::kNoNode) {
+    p.group = group_;
+  } else {
+    p.dst = unicast_to;
+    p.dst_port = unicast_port;
+  }
+
+  if (!rexmit) {
+    // Excluded receivers' scoreboards are frozen — they must not keep
+    // accumulating outstanding-packet state for the rest of the session.
+    for (std::size_t i = 0; i < rcvrs_.size(); ++i)
+      if (!census_.excluded(static_cast<int>(i))) rcvrs_[i]->sb.on_send(seq);
+    send_info_[seq] = SendInfo{sim_.now(), false, -1e18};
+  }
+
+  pacer_.send(p);
+  if (!timeout_timer_.armed()) restart_timeout_timer();
+}
+
+void RlaSender::restart_timeout_timer() {
+  if (next_seq_ <= max_reach_all_) {
+    timeout_timer_.cancel();
+    return;
+  }
+  double rto = 0.0;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    if (census_.excluded(static_cast<int>(i))) continue;
+    rto = std::max(rto, rcvrs_[i]->rtt.rto());
+  }
+  timeout_timer_.schedule(std::max(rto, params_.rtt.min_rto));
+}
+
+void RlaSender::on_timeout() {
+  if (next_seq_ <= max_reach_all_) return;
+  meas_.note_timeout();
+  meas_.note_congestion_signal();
+
+  // First expiry for a given stalled packet is treated like a tail-loss
+  // probe: halve the window and repair. Only a *repeated* timeout on the
+  // same packet collapses the window to one and backs the timers off,
+  // TCP-style. (The paper's analysis assumes timeouts are rare; this keeps
+  // them from dominating when a retransmission is itself lost.)
+  const bool repeated = max_reach_all_ == timeout_blocking_;
+  timeout_blocking_ = max_reach_all_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  if (repeated) {
+    set_cwnd(1.0);
+    for (auto& r : rcvrs_) r->rtt.back_off();
+  } else {
+    set_cwnd(std::max(cwnd_ / 2.0, 1.0));
+  }
+  last_window_cut_ = sim_.now();
+  meas_.note_window_cut();
+
+  const net::SeqNum blocking = max_reach_all_;
+  auto& info = send_info_[blocking];
+  info.last_rexmit = sim_.now();
+  info.ever_rexmitted = true;
+  for (auto& r : rcvrs_) r->sb.on_retransmit(blocking);
+  send_data_packet(blocking, /*rexmit=*/true, net::kNoNode, 0);
+  ++mcast_rexmits_;
+
+  restart_timeout_timer();
+}
+
+void RlaSender::maybe_drop_slowest(int idx) {
+  if (!params_.enable_slow_receiver_drop) return;
+  if (census_.total_signals() < params_.slow_drop_min_signals) return;
+  const double share =
+      static_cast<double>(census_.signals(idx)) /
+      static_cast<double>(census_.total_signals());
+  if (share > params_.slow_drop_fraction) {
+    census_.exclude(idx);
+    census_.recompute(sim_.now());
+    advance_reach_all();
+  }
+}
+
+}  // namespace rlacast::rla

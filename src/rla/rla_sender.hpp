@@ -1,0 +1,166 @@
+// RLA multicast sender — the paper's primary contribution (§3.3).
+//
+// A window-based multicast congestion controller that stays TCP-like in its
+// window dynamics but *randomizes* which congestion signals it obeys:
+//
+//   1. Loss detection  — per-receiver SACK scoreboards; packet P is lost for
+//      receiver i once a packet >= 3 above P is SACKed by i, or on timeout.
+//   2. Congestion detection — losses from receiver i within
+//      2*srtt_i of the congestion-period start are grouped into ONE signal
+//      (one signal per buffer period, mirroring TCP's one cut per window).
+//   3. Window adjustment on a signal from receiver i:
+//        - skip if i is not a troubled receiver (rare loss);
+//        - forced-cut  if no cut happened within the last 2*awnd*srtt_i;
+//        - otherwise randomized-cut: halve with probability pthresh.
+//   4. Window growth — cwnd += 1/cwnd per packet newly ACKed by ALL
+//      receivers (slow start: cwnd += 1 while cwnd < ssthresh).
+//   5. Window bounds — trailing edge follows max_reach_all; leading edge
+//      never beyond min_last_ack + receiver buffer.
+//   6. Troubled census — see TroubledCensus (η = 20).
+//
+// pthresh = f(srtt_i/srtt_max) / num_trouble_rcvr with f(x) = x^k; k = 0 is
+// the original equal-RTT RLA (pthresh = 1/n), k = 2 the generalized RLA of
+// §5.3 for heterogeneous round-trip times.
+//
+// Retransmissions go by multicast when more than rexmit_thresh receivers
+// miss the packet, else by unicast to each requester.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/agent.hpp"
+#include "net/network.hpp"
+#include "rla/rla_params.hpp"
+#include "rla/troubled_census.hpp"
+#include "sim/simulator.hpp"
+#include "stats/flow_measurement.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/scoreboard.hpp"
+
+namespace rlacast::rla {
+
+class RlaSender final : public net::Agent {
+ public:
+  RlaSender(net::Network& network, net::NodeId node, net::PortId port,
+            net::GroupId group, net::FlowId flow, RlaParams params = {});
+
+  /// Registers a receiver endpoint (must match an RlaReceiver's node/port
+  /// and id). May be called before start_at() or mid-session (late join):
+  /// a late joiner's state begins at the current send frontier, so it owes
+  /// nothing for data sent before it arrived. Returns the receiver index.
+  int add_receiver(net::NodeId node, net::PortId port);
+
+  /// Gracefully removes receiver `idx` from the session (leave): its ACKs
+  /// are ignored from now on and the window no longer waits for it. The
+  /// multicast tree itself is pruned by the caller if desired (delivery to
+  /// a departed subscriber is harmless).
+  void remove_receiver(int idx);
+
+  /// Starts the session at absolute simulation time `when`.
+  void start_at(sim::SimTime when);
+
+  void on_receive(const net::Packet& p) override;
+
+  // --- observability ---------------------------------------------------------
+  double cwnd() const { return cwnd_; }
+  double awnd() const { return awnd_; }
+  double ssthresh() const { return ssthresh_; }
+  net::SeqNum min_last_ack() const;
+  net::SeqNum max_reach_all() const { return max_reach_all_; }
+  net::SeqNum next_seq() const { return next_seq_; }
+  int num_trouble_rcvr() const { return census_.num_troubled(); }
+  const TroubledCensus& census() const { return census_; }
+  double pthresh_for(int rcvr) const;
+  std::size_t receiver_count() const { return rcvrs_.size(); }
+  std::uint64_t signals_from(int rcvr) const { return census_.signals(rcvr); }
+  std::uint64_t acks_received() const { return acks_received_; }
+  std::uint64_t multicast_rexmits() const { return mcast_rexmits_; }
+  std::uint64_t unicast_rexmits() const { return ucast_rexmits_; }
+  bool receiver_dropped(int rcvr) const { return census_.excluded(rcvr); }
+  double srtt_of(int rcvr) const {
+    return rcvrs_[static_cast<std::size_t>(rcvr)]->rtt.srtt();
+  }
+  stats::FlowMeasurement& measurement() { return meas_; }
+  const stats::FlowMeasurement& measurement() const { return meas_; }
+  const RlaParams& params() const { return params_; }
+
+ private:
+  struct ReceiverState {
+    net::NodeId node;
+    net::PortId port;
+    tcp::Scoreboard sb;
+    tcp::RttEstimator rtt;
+    sim::SimTime cperiod_start = -1e18;  // far in the past
+
+    explicit ReceiverState(const tcp::RttEstimatorParams& rp) : rtt(rp) {}
+  };
+
+  /// Bookkeeping for every packet at or above max_reach_all.
+  struct SendInfo {
+    sim::SimTime first_sent = 0.0;
+    bool ever_rexmitted = false;
+    sim::SimTime last_rexmit = -1e18;
+    /// Bit i set once receiver i has acknowledged the packet (cumulatively
+    /// or selectively). The per-packet RLA RTT — time until the LAST
+    /// receiver's ACK, the quantity eq. (5) bounds — is sampled the moment
+    /// coverage completes, so head-of-line repairs of *other* packets do
+    /// not inflate it. Bounds the session to 64 receivers (paper scale: 36).
+    std::uint64_t acked_mask = 0;
+    bool rtt_sampled = false;
+  };
+
+  void on_ack(const net::Packet& ack, ReceiverState& r, int idx);
+  void mark_covered(const net::Packet& ack, int idx);
+  void mark_one(net::SeqNum seq, SendInfo& info, std::uint64_t bit);
+  std::uint64_t active_mask() const;
+  void handle_congestion_signal(ReceiverState& r, int idx);
+  void cut_window(bool forced);
+  void set_cwnd(double w);
+  void advance_reach_all();
+  void maybe_retransmit(net::SeqNum seq, int requester_idx, bool urgent);
+  void send_new_data(int budget);
+  void send_data_packet(net::SeqNum seq, bool rexmit, net::NodeId unicast_to,
+                        net::PortId unicast_port);
+  void on_timeout();
+  void restart_timeout_timer();
+  void maybe_drop_slowest(int idx);
+  double max_srtt() const;
+  net::SeqNum first_missing(const ReceiverState& r) const;
+
+  net::Network& network_;
+  sim::Simulator& sim_;
+  net::NodeId node_;
+  net::PortId port_;
+  net::GroupId group_;
+  net::FlowId flow_;
+  RlaParams params_;
+
+  net::SendPacer pacer_;
+  sim::Rng listen_rng_;  // the π draws of the random listening decision
+  sim::Timer timeout_timer_;
+
+  std::vector<std::unique_ptr<ReceiverState>> rcvrs_;
+  TroubledCensus census_;
+
+  double cwnd_;
+  double ssthresh_;
+  double awnd_;
+  sim::SimTime last_window_cut_ = -1e18;
+  net::SeqNum next_seq_ = 0;
+  net::SeqNum max_reach_all_ = 0;
+  net::SeqNum timeout_blocking_ = -1;  // stall point at the last timeout
+  bool started_ = false;
+
+  std::map<net::SeqNum, SendInfo> send_info_;
+
+  std::uint64_t acks_received_ = 0;
+  std::uint64_t mcast_rexmits_ = 0;
+  std::uint64_t ucast_rexmits_ = 0;
+
+  stats::FlowMeasurement meas_;
+};
+
+}  // namespace rlacast::rla

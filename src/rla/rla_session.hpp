@@ -1,0 +1,76 @@
+// RlaSession: one-call setup of a complete RLA multicast session.
+//
+// Bundles what examples and scenario harnesses otherwise wire by hand:
+// the sender agent, one receiver agent per endpoint, the group grafts, and
+// consistent port assignment.  The sender and receivers remain fully
+// accessible for inspection.
+//
+//   rla::RlaSession session(net, sender_node, group, params);
+//   session.add_receiver(node_a);
+//   session.add_receiver(node_b);
+//   session.start_at(0.0);
+//   ...
+//   session.sender().measurement().throughput_pps(now);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "rla/rla_receiver.hpp"
+#include "rla/rla_sender.hpp"
+
+namespace rlacast::rla {
+
+class RlaSession {
+ public:
+  /// Ports are derived from the group id so several sessions can share
+  /// nodes: sender at 9000+group on its node, receivers at 9000+group on
+  /// theirs.
+  RlaSession(net::Network& network, net::NodeId sender_node,
+             net::GroupId group, RlaParams params = {},
+             RlaReceiverOptions receiver_options = {})
+      : network_(network),
+        sender_node_(sender_node),
+        group_(group),
+        port_(9000 + group),
+        receiver_options_(receiver_options),
+        sender_(std::make_unique<RlaSender>(network, sender_node, port_,
+                                            group, /*flow=*/9000 + group,
+                                            params)) {}
+
+  /// Joins `node` to the session; returns the receiver index.
+  int add_receiver(net::NodeId node) {
+    network_.join_group(group_, sender_node_, node);
+    const int idx = sender_->add_receiver(node, port_);
+    RlaReceiverOptions opts = receiver_options_;
+    // Joining an in-progress session: resume at the first packet seen.
+    if (sender_->next_seq() > 0) opts.resume_at_first_packet = true;
+    receivers_.push_back(std::make_unique<RlaReceiver>(
+        network_, node, port_, group_, sender_node_, port_, idx, opts));
+    return idx;
+  }
+
+  /// Removes receiver `idx` from the session (leave): the sender stops
+  /// waiting for it. The receiver agent stays attached (quiescent).
+  void remove_receiver(int idx) { sender_->remove_receiver(idx); }
+
+  void start_at(sim::SimTime when) { sender_->start_at(when); }
+
+  RlaSender& sender() { return *sender_; }
+  const RlaSender& sender() const { return *sender_; }
+  RlaReceiver& receiver(int idx) { return *receivers_[std::size_t(idx)]; }
+  std::size_t receiver_count() const { return receivers_.size(); }
+  net::GroupId group() const { return group_; }
+
+ private:
+  net::Network& network_;
+  net::NodeId sender_node_;
+  net::GroupId group_;
+  net::PortId port_;
+  RlaReceiverOptions receiver_options_;
+  std::unique_ptr<RlaSender> sender_;
+  std::vector<std::unique_ptr<RlaReceiver>> receivers_;
+};
+
+}  // namespace rlacast::rla

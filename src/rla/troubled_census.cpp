@@ -1,0 +1,67 @@
+#include "rla/troubled_census.hpp"
+
+#include <algorithm>
+
+namespace rlacast::rla {
+
+int TroubledCensus::add_receiver() {
+  rcvrs_.emplace_back(gain_);
+  return static_cast<int>(rcvrs_.size()) - 1;
+}
+
+void TroubledCensus::on_signal(int i, sim::SimTime now) {
+  Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
+  if (r.excluded) return;
+  if (r.last_signal != sim::kNever) r.interval.add(now - r.last_signal);
+  r.last_signal = now;
+  ++r.signals;
+  ++total_signals_;
+}
+
+void TroubledCensus::exclude(int i) {
+  Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
+  if (r.troubled) --num_troubled_;
+  r.troubled = false;
+  r.excluded = true;
+}
+
+double TroubledCensus::effective_interval(int i, sim::SimTime now) const {
+  const Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
+  if (r.excluded || r.signals == 0) return -1.0;
+  const double since_last = now - r.last_signal;
+  if (!r.interval.initialized()) return std::max(since_last, 1e-12);
+  return std::max(r.interval.value(), since_last);
+}
+
+double TroubledCensus::min_interval(sim::SimTime now) const {
+  double best = -1.0;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    const double e = effective_interval(static_cast<int>(i), now);
+    if (e < 0.0) continue;
+    if (best < 0.0 || e < best) best = e;
+  }
+  return best;
+}
+
+int TroubledCensus::recompute(sim::SimTime now) {
+  const double min_int = min_interval(now);
+  num_troubled_ = 0;
+  for (auto& r : rcvrs_) {
+    r.troubled = false;
+  }
+  if (min_int < 0.0) return 0;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    Rcvr& r = rcvrs_[i];
+    if (r.excluded || r.signals == 0) continue;
+    const double e = effective_interval(static_cast<int>(i), now);
+    // The most-congested receiver satisfies e == min_int; the strict "<"
+    // of the paper is made "<=" scaled so that it is always troubled.
+    if (e <= eta_ * min_int) {
+      r.troubled = true;
+      ++num_troubled_;
+    }
+  }
+  return num_troubled_;
+}
+
+}  // namespace rlacast::rla

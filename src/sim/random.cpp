@@ -1,0 +1,28 @@
+#include "sim/random.hpp"
+
+namespace rlacast::sim {
+namespace {
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t SeedSequence::seed_for(std::string_view component) const {
+  const std::uint64_t h = fnv1a(component, 0xcbf29ce484222325ULL ^ master_);
+  return splitmix64(h);
+}
+
+}  // namespace rlacast::sim

@@ -1,0 +1,71 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rlacast::sim {
+
+EventId Scheduler::schedule_at(SimTime at, Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(cb)});
+  pending_ids_.insert(id);
+  ++live_events_;
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  // A cancellation is only meaningful while the event is still pending;
+  // cancelling an already-fired (or already-cancelled) id must be a no-op or
+  // the live-event accounting would drift.
+  if (pending_ids_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  --live_events_;
+}
+
+void Scheduler::skim() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime Scheduler::next_time() {
+  skim();
+  return heap_.empty() ? kNever : heap_.top().at;
+}
+
+bool Scheduler::run_one() {
+  skim();
+  if (heap_.empty()) return false;
+  // Move the callback out before popping so re-entrant scheduling is safe.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_ids_.erase(entry.id);
+  --live_events_;
+  now_ = entry.at;
+  ++dispatched_;
+  entry.cb();
+  return true;
+}
+
+void Scheduler::run_until(SimTime until) {
+  while (true) {
+    const SimTime t = next_time();
+    if (t == kNever) return;
+    if (t > until) {
+      now_ = until;
+      return;
+    }
+    run_one();
+  }
+}
+
+void Scheduler::run_all() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace rlacast::sim

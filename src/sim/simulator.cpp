@@ -1,0 +1,6 @@
+#include "sim/simulator.hpp"
+
+// Simulator and Timer are header-only today; this translation unit anchors
+// the library target and is the intended home for future heavier run-control
+// features (checkpointing, event tracing).
+namespace rlacast::sim {}

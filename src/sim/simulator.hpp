@@ -1,0 +1,99 @@
+// Simulator: the top-level context object for a run.
+//
+// Owns the scheduler and the seed sequence.  Every component in the network
+// substrate receives a Simulator& at construction; there is no global state,
+// so tests can run many simulators side by side.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rlacast::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t master_seed = 1)
+      : seeds_(master_seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return scheduler_.now(); }
+
+  /// Schedules a callback `delay` seconds from now.
+  EventId after(SimTime delay, Scheduler::Callback cb) {
+    return scheduler_.schedule_at(now() + delay, std::move(cb));
+  }
+
+  /// Schedules a callback at an absolute time.
+  EventId at(SimTime when, Scheduler::Callback cb) {
+    return scheduler_.schedule_at(when, std::move(cb));
+  }
+
+  void cancel(EventId id) { scheduler_.cancel(id); }
+
+  void run_until(SimTime until) { scheduler_.run_until(until); }
+  void run_all() { scheduler_.run_all(); }
+
+  Scheduler& scheduler() { return scheduler_; }
+  const SeedSequence& seeds() const { return seeds_; }
+
+  /// Creates a named deterministic random stream.
+  Rng rng_stream(std::string_view component) const {
+    return seeds_.stream(component);
+  }
+
+ private:
+  Scheduler scheduler_;
+  SeedSequence seeds_;
+};
+
+/// A restartable one-shot timer bound to a simulator, used for protocol
+/// retransmission timers.  Rescheduling or cancelling is O(1) amortized
+/// (lazy deletion in the scheduler).
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arms the timer `delay` seconds from now.
+  void schedule(SimTime delay) {
+    cancel();
+    expiry_ = sim_.now() + delay;
+    id_ = sim_.after(delay, [this] {
+      id_ = kInvalidEventId;
+      on_fire_();
+    });
+  }
+
+  void cancel() {
+    if (id_ != kInvalidEventId) {
+      sim_.cancel(id_);
+      id_ = kInvalidEventId;
+    }
+  }
+
+  bool armed() const { return id_ != kInvalidEventId; }
+
+  /// Absolute expiry time of the currently armed timer (meaningless if not
+  /// armed).
+  SimTime expiry() const { return expiry_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventId id_ = kInvalidEventId;
+  SimTime expiry_ = 0.0;
+};
+
+}  // namespace rlacast::sim

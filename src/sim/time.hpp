@@ -1,0 +1,23 @@
+// Simulation time base.
+//
+// Time is modelled as a double in seconds, following the convention of
+// classic network simulators (ns-2).  All latencies in the reproduced paper
+// (propagation delays of 5 ms / 100 ms, service times around 0.08 ms for a
+// 1000-byte packet on a 100 Mbit/s link) are comfortably inside the exactly
+// representable range of a double over simulations of a few thousand seconds.
+#pragma once
+
+namespace rlacast::sim {
+
+/// Simulation timestamp / duration, in seconds.
+using SimTime = double;
+
+/// Sentinel meaning "never" for optional deadlines.
+inline constexpr SimTime kNever = -1.0;
+
+/// Convenience literals-ish helpers.
+constexpr SimTime milliseconds(double ms) { return ms * 1e-3; }
+constexpr SimTime microseconds(double us) { return us * 1e-6; }
+constexpr SimTime seconds(double s) { return s; }
+
+}  // namespace rlacast::sim

@@ -1,0 +1,3 @@
+#include "stats/ewma.hpp"
+
+namespace rlacast::stats {}

@@ -1,0 +1,51 @@
+// Exponentially weighted moving averages.
+//
+// Two flavours are needed by the paper:
+//  * sample-based EWMA (TCP srtt/rttvar, RLA congestion-interval average,
+//    LTRC loss-rate average) — Ewma;
+//  * a time-decayed EWMA for queue averaging used by RED, which must decay
+//    per *packet arrival* with idle-time compensation — that one lives in
+//    the RED queue itself because its decay rule is RED-specific.
+#pragma once
+
+#include <cstddef>
+
+namespace rlacast::stats {
+
+/// Classic sample EWMA: avg <- (1-g)*avg + g*sample.
+/// Until the first sample arrives, value() returns the configured initial
+/// value and initialized() is false.
+class Ewma {
+ public:
+  explicit Ewma(double gain, double initial = 0.0)
+      : gain_(gain), value_(initial) {}
+
+  void add(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ += gain_ * (sample - value_);
+    }
+    ++count_;
+  }
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  std::size_t count() const { return count_; }
+  double gain() const { return gain_; }
+
+  void reset(double initial = 0.0) {
+    value_ = initial;
+    initialized_ = false;
+    count_ = 0;
+  }
+
+ private:
+  double gain_;
+  double value_;
+  bool initialized_ = false;
+  std::size_t count_ = 0;
+};
+
+}  // namespace rlacast::stats

@@ -1,0 +1,80 @@
+// FlowMeasurement: the per-connection statistics rows of the paper's tables.
+//
+// Collects exactly what Figures 7, 9 and 10 report per flow: average
+// throughput (packets acknowledged per second after warm-up), time-averaged
+// congestion window, mean per-packet RTT (packets delivered without
+// retransmission only, as the paper specifies), and the counts of congestion
+// signals, window cuts and forced cuts.
+//
+// The harness calls begin_measurement(warmup) once; everything before that
+// instant is discarded, mirroring "statistics are collected after the first
+// 100 seconds".
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "stats/summary.hpp"
+#include "stats/time_weighted.hpp"
+
+namespace rlacast::stats {
+
+class FlowMeasurement {
+ public:
+  // --- recording (called by protocol agents) -------------------------------
+  void note_cwnd(sim::SimTime t, double cwnd) { cwnd_mean_.update(t, cwnd); }
+  void note_rtt(sim::SimTime t, double rtt) {
+    if (measuring_ && t >= warmup_) rtt_.add(rtt);
+  }
+  void note_acked(std::int64_t n) { pkts_acked_ += static_cast<std::uint64_t>(n); }
+  void note_congestion_signal() { ++cong_signals_; }
+  void note_window_cut() { ++window_cuts_; }
+  void note_forced_cut() { ++forced_cuts_; }
+  void note_timeout() { ++timeouts_; }
+
+  // --- harness control ------------------------------------------------------
+  /// Starts the measurement period at time `t` (warm-up cut).
+  void begin_measurement(sim::SimTime t) {
+    warmup_ = t;
+    measuring_ = true;
+    cwnd_mean_.reset_at(t);
+    base_acked_ = pkts_acked_;
+    base_signals_ = cong_signals_;
+    base_cuts_ = window_cuts_;
+    base_forced_ = forced_cuts_;
+    base_timeouts_ = timeouts_;
+  }
+
+  // --- reading (at end time `t`) --------------------------------------------
+  double throughput_pps(sim::SimTime t) const {
+    const double dt = t - warmup_;
+    return dt > 0.0 ? static_cast<double>(pkts_acked_ - base_acked_) / dt : 0.0;
+  }
+  double avg_cwnd(sim::SimTime t) const { return cwnd_mean_.mean(t); }
+  double avg_rtt() const { return rtt_.mean(); }
+  std::uint64_t congestion_signals() const { return cong_signals_ - base_signals_; }
+  std::uint64_t window_cuts() const { return window_cuts_ - base_cuts_; }
+  std::uint64_t forced_cuts() const { return forced_cuts_ - base_forced_; }
+  std::uint64_t timeouts() const { return timeouts_ - base_timeouts_; }
+  std::uint64_t total_acked() const { return pkts_acked_; }
+  const Summary& rtt_summary() const { return rtt_; }
+
+ private:
+  TimeWeightedMean cwnd_mean_;
+  Summary rtt_;
+  std::uint64_t pkts_acked_ = 0;
+  std::uint64_t cong_signals_ = 0;
+  std::uint64_t window_cuts_ = 0;
+  std::uint64_t forced_cuts_ = 0;
+  std::uint64_t timeouts_ = 0;
+
+  sim::SimTime warmup_ = 0.0;
+  bool measuring_ = false;
+  std::uint64_t base_acked_ = 0;
+  std::uint64_t base_signals_ = 0;
+  std::uint64_t base_cuts_ = 0;
+  std::uint64_t base_forced_ = 0;
+  std::uint64_t base_timeouts_ = 0;
+};
+
+}  // namespace rlacast::stats

@@ -1,0 +1,84 @@
+#include "stats/histogram2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlacast::stats {
+
+Histogram2D::Histogram2D(double x_max, double y_max, std::size_t nx,
+                         std::size_t ny)
+    : x_max_(x_max), y_max_(y_max), nx_(nx), ny_(ny), bins_(nx * ny, 0.0) {}
+
+void Histogram2D::add(double x, double y, double weight) {
+  auto bin = [](double v, double vmax, std::size_t n) {
+    const double f = v / vmax * static_cast<double>(n);
+    const auto i = static_cast<std::ptrdiff_t>(std::floor(f));
+    return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        i, 0, static_cast<std::ptrdiff_t>(n) - 1));
+  };
+  bins_[bin(y, y_max_, ny_) * nx_ + bin(x, x_max_, nx_)] += weight;
+  total_ += weight;
+}
+
+std::pair<double, double> Histogram2D::mode() const {
+  const auto it = std::max_element(bins_.begin(), bins_.end());
+  const auto idx = static_cast<std::size_t>(it - bins_.begin());
+  return {x_center(idx % nx_), y_center(idx / nx_)};
+}
+
+double Histogram2D::mean_x() const {
+  if (total_ <= 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t iy = 0; iy < ny_; ++iy)
+    for (std::size_t ix = 0; ix < nx_; ++ix)
+      s += at(ix, iy) * x_center(ix);
+  return s / total_;
+}
+
+double Histogram2D::mean_y() const {
+  if (total_ <= 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t iy = 0; iy < ny_; ++iy)
+    for (std::size_t ix = 0; ix < nx_; ++ix)
+      s += at(ix, iy) * y_center(iy);
+  return s / total_;
+}
+
+double Histogram2D::mass_near(double x, double y, double radius) const {
+  if (total_ <= 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t iy = 0; iy < ny_; ++iy)
+    for (std::size_t ix = 0; ix < nx_; ++ix)
+      if (std::abs(x_center(ix) - x) <= radius &&
+          std::abs(y_center(iy) - y) <= radius)
+        s += at(ix, iy);
+  return s / total_;
+}
+
+std::string Histogram2D::render_ascii(std::size_t max_cols) const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  const std::size_t n_shades = sizeof(kShades) - 2;
+  const std::size_t cols = std::min(nx_, max_cols);
+  const std::size_t rows = std::min(ny_, max_cols);
+  const double peak = *std::max_element(bins_.begin(), bins_.end());
+  std::string out;
+  if (peak <= 0.0) return out;
+  for (std::size_t r = rows; r-- > 0;) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Aggregate the underlying bins covered by this display cell.
+      double m = 0.0;
+      const std::size_t y0 = r * ny_ / rows, y1 = (r + 1) * ny_ / rows;
+      const std::size_t x0 = c * nx_ / cols, x1 = (c + 1) * nx_ / cols;
+      for (std::size_t iy = y0; iy < std::max(y1, y0 + 1); ++iy)
+        for (std::size_t ix = x0; ix < std::max(x1, x0 + 1); ++ix)
+          m = std::max(m, at(ix, iy));
+      const auto shade = static_cast<std::size_t>(
+          std::round(std::sqrt(m / peak) * static_cast<double>(n_shades)));
+      out += kShades[std::min(shade, n_shades)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rlacast::stats

@@ -1,0 +1,52 @@
+// 2-D occupancy histogram, used to reproduce Figure 5 (density plot of the
+// joint (cwnd1, cwnd2) process of two competing multicast sessions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rlacast::stats {
+
+class Histogram2D {
+ public:
+  /// Covers [0, x_max) x [0, y_max) with nx x ny uniform bins.
+  Histogram2D(double x_max, double y_max, std::size_t nx, std::size_t ny);
+
+  /// Adds `weight` at (x, y); samples outside the range are clamped to the
+  /// edge bins so probability mass is conserved.
+  void add(double x, double y, double weight = 1.0);
+
+  double at(std::size_t ix, std::size_t iy) const {
+    return bins_[iy * nx_ + ix];
+  }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  double total() const { return total_; }
+
+  /// Bin centre coordinates.
+  double x_center(std::size_t ix) const { return (ix + 0.5) * x_max_ / nx_; }
+  double y_center(std::size_t iy) const { return (iy + 0.5) * y_max_ / ny_; }
+
+  /// Coordinates of the modal (highest-mass) bin centre.
+  std::pair<double, double> mode() const;
+
+  /// Marginal means of the (normalized) histogram.
+  double mean_x() const;
+  double mean_y() const;
+
+  /// Fraction of mass within a Chebyshev radius (in bins) of bin (cx, cy).
+  double mass_near(double x, double y, double radius) const;
+
+  /// ASCII-art density rendering (darker glyph = more mass), rows printed
+  /// top-to-bottom in decreasing y like the paper's plot.
+  std::string render_ascii(std::size_t max_cols = 40) const;
+
+ private:
+  double x_max_, y_max_;
+  std::size_t nx_, ny_;
+  std::vector<double> bins_;
+  double total_ = 0.0;
+};
+
+}  // namespace rlacast::stats

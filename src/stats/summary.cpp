@@ -1,0 +1,3 @@
+#include "stats/summary.hpp"
+
+namespace rlacast::stats {}

@@ -1,0 +1,51 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace rlacast::stats {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == rows_.front().size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::render() const {
+  const std::size_t ncols = rows_.front().size();
+  std::vector<std::size_t> width(ncols, 0);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < ncols; ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::string out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const auto& cell = rows_[r][c];
+      out += cell;
+      out.append(width[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (auto w : width) total += w + 2;
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace rlacast::stats

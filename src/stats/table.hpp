@@ -1,0 +1,27 @@
+// Minimal fixed-width text table used by the bench harnesses to print the
+// paper's result tables (Figures 7, 8, 9, 10) in the same row/column layout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rlacast::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric cells with fixed precision.
+  static std::string num(double v, int precision = 1);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+}  // namespace rlacast::stats

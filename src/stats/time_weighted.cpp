@@ -1,0 +1,3 @@
+#include "stats/time_weighted.hpp"
+
+namespace rlacast::stats {}

@@ -1,0 +1,65 @@
+// Time-weighted averaging of piecewise-constant signals.
+//
+// The paper's tables report the *time average* congestion window over the
+// measurement period (3000 s minus 100 s warm-up).  cwnd is piecewise
+// constant between updates, so the average is the integral of the held value
+// divided by elapsed time.  Warm-up is handled by reset_at().
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rlacast::stats {
+
+class TimeWeightedMean {
+ public:
+  /// Starts tracking at time t0 with initial value v0.
+  void start(sim::SimTime t0, double v0) {
+    last_time_ = t0;
+    last_value_ = v0;
+    area_ = 0.0;
+    origin_ = t0;
+    started_ = true;
+  }
+
+  /// Records that the signal changed to `v` at time `t`.
+  void update(sim::SimTime t, double v) {
+    if (!started_) {
+      start(t, v);
+      return;
+    }
+    area_ += last_value_ * (t - last_time_);
+    last_time_ = t;
+    last_value_ = v;
+  }
+
+  /// Discards history accumulated before `t` (warm-up cut) but keeps the
+  /// current held value.
+  void reset_at(sim::SimTime t) {
+    if (!started_) {
+      start(t, 0.0);
+      return;
+    }
+    area_ = 0.0;
+    last_time_ = t;
+    origin_ = t;
+  }
+
+  /// Mean over [origin, t]. The currently held value is extended to `t`.
+  double mean(sim::SimTime t) const {
+    if (!started_ || t <= origin_) return last_value_;
+    const double area = area_ + last_value_ * (t - last_time_);
+    return area / (t - origin_);
+  }
+
+  double current() const { return last_value_; }
+  bool started() const { return started_; }
+
+ private:
+  sim::SimTime origin_ = 0.0;
+  sim::SimTime last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double area_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace rlacast::stats

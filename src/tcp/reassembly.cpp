@@ -1,0 +1,85 @@
+#include "tcp/reassembly.hpp"
+
+#include <algorithm>
+
+namespace rlacast::tcp {
+
+void ReassemblyBuffer::start_at(net::SeqNum seq) {
+  if (cum_ != 0 || !blocks_.empty()) return;  // already receiving: no-op
+  cum_ = seq;
+  highest_ = seq;
+}
+
+bool ReassemblyBuffer::add(net::SeqNum seq) {
+  if (seq < cum_ || has(seq)) return false;  // duplicate
+
+  highest_ = std::max(highest_, seq + 1);
+  ++ooo_pkts_;
+
+  // Insert [seq, seq+1) and merge with neighbours.
+  net::SeqNum lo = seq, hi = seq + 1;
+  // Predecessor block ending exactly at seq merges from the left.
+  auto it = blocks_.upper_bound(seq);
+  if (it != blocks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second == seq) {
+      lo = prev->first;
+      blocks_.erase(prev);
+    }
+  }
+  // Successor block starting exactly at seq+1 merges from the right.
+  it = blocks_.find(hi);
+  if (it != blocks_.end()) {
+    hi = it->second;
+    blocks_.erase(it);
+  }
+  blocks_[lo] = hi;
+
+  // Advance the cumulative point over a block that now starts at it.
+  auto front = blocks_.find(cum_);
+  if (front != blocks_.end()) {
+    ooo_pkts_ -= static_cast<std::size_t>(front->second - front->first);
+    cum_ = front->second;
+    blocks_.erase(front);
+  }
+
+  // Recency list for SACK generation: newest first, bounded.
+  recent_.push_front(seq);
+  if (recent_.size() > 16) recent_.pop_back();
+  return true;
+}
+
+bool ReassemblyBuffer::has(net::SeqNum seq) const {
+  if (seq < cum_) return true;
+  auto it = blocks_.upper_bound(seq);
+  if (it == blocks_.begin()) return false;
+  return std::prev(it)->second > seq;
+}
+
+net::SackBlock ReassemblyBuffer::block_around(net::SeqNum seq) const {
+  auto it = blocks_.upper_bound(seq);
+  if (it == blocks_.begin()) return {seq, seq + 1};  // unreachable if received
+  --it;
+  return {it->first, it->second};
+}
+
+int ReassemblyBuffer::sack_blocks(net::SackBlock* blocks,
+                                  int max_blocks) const {
+  int n = 0;
+  for (net::SeqNum seq : recent_) {
+    if (seq < cum_) continue;  // swallowed by the cumulative ACK
+    const net::SackBlock b = block_around(seq);
+    bool dup = false;
+    for (int i = 0; i < n; ++i)
+      if (blocks[i] == b) {
+        dup = true;
+        break;
+      }
+    if (dup) continue;
+    blocks[n++] = b;
+    if (n == max_blocks) break;
+  }
+  return n;
+}
+
+}  // namespace rlacast::tcp

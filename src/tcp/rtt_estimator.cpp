@@ -1,0 +1,3 @@
+#include "tcp/rtt_estimator.hpp"
+
+namespace rlacast::tcp {}

@@ -1,0 +1,123 @@
+#include "tcp/scoreboard.hpp"
+
+#include <cassert>
+
+namespace rlacast::tcp {
+
+void Scoreboard::on_send(net::SeqNum seq) {
+  assert(seq == high_ && "new packets must be sent in order");
+  pkts_.emplace(seq, State{});
+  high_ = seq + 1;
+  ++pipe_;  // fresh packet: unSACKed, not lost
+}
+
+void Scoreboard::on_retransmit(net::SeqNum seq) {
+  auto it = pkts_.find(seq);
+  if (it == pkts_.end()) return;
+  const bool was_in_pipe = in_pipe(it->second);
+  it->second.rexmitted = true;
+  if (!was_in_pipe && in_pipe(it->second)) ++pipe_;  // repair re-enters
+}
+
+void Scoreboard::clear_retransmitted(net::SeqNum seq) {
+  auto it = pkts_.find(seq);
+  if (it == pkts_.end()) return;
+  const bool was_in_pipe = in_pipe(it->second);
+  it->second.rexmitted = false;
+  if (was_in_pipe && !in_pipe(it->second)) --pipe_;  // presumed lost again
+}
+
+std::int64_t Scoreboard::advance(net::SeqNum new_una) {
+  if (new_una <= una_) return 0;
+  const std::int64_t n = new_una - una_;
+  auto it = pkts_.begin();
+  while (it != pkts_.end() && it->first < new_una) {
+    if (it->second.sacked) --sacked_count_;
+    if (it->second.lost && !it->second.sacked) --lost_count_;
+    if (in_pipe(it->second)) --pipe_;
+    it = pkts_.erase(it);
+  }
+  una_ = new_una;
+  if (high_ < una_) high_ = una_;
+  return n;
+}
+
+int Scoreboard::apply_sack(const net::SackBlock* blocks, int n_blocks) {
+  int newly = 0;
+  for (int b = 0; b < n_blocks; ++b) {
+    for (net::SeqNum s = std::max(blocks[b].lo, una_); s < blocks[b].hi; ++s) {
+      auto it = pkts_.find(s);
+      if (it == pkts_.end() || it->second.sacked) continue;
+      if (in_pipe(it->second)) --pipe_;  // SACKed packets leave the pipe
+      it->second.sacked = true;
+      ++sacked_count_;
+      if (it->second.lost) --lost_count_;  // spurious loss mark
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+int Scoreboard::detect_losses(int dupthresh) {
+  // Walk from the top, counting SACKed packets above the cursor; everything
+  // below the dupthresh-th SACKed packet that is itself unSACKed is lost.
+  int newly = 0;
+  int sacked_above = 0;
+  for (auto it = pkts_.rbegin(); it != pkts_.rend(); ++it) {
+    if (it->second.sacked) {
+      ++sacked_above;
+      continue;
+    }
+    if (sacked_above >= dupthresh && !it->second.lost) {
+      const bool was_in_pipe = in_pipe(it->second);
+      it->second.lost = true;
+      ++lost_count_;
+      ++newly;
+      if (was_in_pipe && !in_pipe(it->second)) --pipe_;
+    }
+  }
+  return newly;
+}
+
+void Scoreboard::mark_all_lost() {
+  for (auto& [seq, st] : pkts_) {
+    if (st.sacked) continue;
+    const bool was_in_pipe = in_pipe(st);
+    if (!st.lost) {
+      st.lost = true;
+      ++lost_count_;
+    }
+    st.rexmitted = false;
+    if (was_in_pipe && !in_pipe(st)) --pipe_;
+  }
+}
+
+bool Scoreboard::is_sacked(net::SeqNum seq) const {
+  const auto it = pkts_.find(seq);
+  return it != pkts_.end() && it->second.sacked;
+}
+
+bool Scoreboard::is_lost(net::SeqNum seq) const {
+  const auto it = pkts_.find(seq);
+  return it != pkts_.end() && it->second.lost;
+}
+
+bool Scoreboard::was_retransmitted(net::SeqNum seq) const {
+  const auto it = pkts_.find(seq);
+  return it != pkts_.end() && it->second.rexmitted;
+}
+
+net::SeqNum Scoreboard::next_to_retransmit() const {
+  for (const auto& [seq, st] : pkts_)
+    if (st.lost && !st.sacked && !st.rexmitted) return seq;
+  return net::kNoSeq;
+}
+
+void Scoreboard::reset(net::SeqNum next_seq) {
+  pkts_.clear();
+  una_ = high_ = next_seq;
+  sacked_count_ = lost_count_ = 0;
+  pipe_ = 0;
+}
+
+}  // namespace rlacast::tcp

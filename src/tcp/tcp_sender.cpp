@@ -1,0 +1,242 @@
+#include "tcp/tcp_sender.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace rlacast::tcp {
+
+TcpSender::TcpSender(net::Network& network, net::NodeId node, net::PortId port,
+                     net::NodeId dst_node, net::PortId dst_port,
+                     net::FlowId flow, TcpParams params)
+    : network_(network),
+      sim_(network.simulator()),
+      node_(node),
+      port_(port),
+      dst_node_(dst_node),
+      dst_port_(dst_port),
+      flow_(flow),
+      params_(params),
+      pacer_(sim_, network,
+             sim_.rng_stream("tcp-overhead-" + std::to_string(flow)),
+             params.max_send_overhead),
+      rtt_(params.rtt),
+      rexmit_timer_(sim_, [this] { on_timeout(); }),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh) {
+  network_.attach(node_, port_, this);
+  meas_.note_cwnd(0.0, cwnd_);
+}
+
+void TcpSender::start_at(sim::SimTime when) {
+  sim_.at(when, [this] {
+    started_ = true;
+    meas_.note_cwnd(sim_.now(), cwnd_);
+    send_what_we_can();
+  });
+}
+
+void TcpSender::set_cwnd(double w) {
+  cwnd_ = std::clamp(w, 1.0, params_.max_cwnd);
+  meas_.note_cwnd(sim_.now(), cwnd_);
+}
+
+void TcpSender::grow_window() {
+  if (cwnd_ < ssthresh_)
+    set_cwnd(cwnd_ + 1.0);  // slow start
+  else
+    set_cwnd(cwnd_ + 1.0 / std::floor(cwnd_));  // congestion avoidance
+}
+
+void TcpSender::on_receive(const net::Packet& p) {
+  if (p.type == net::PacketType::kAck) on_ack(p);
+}
+
+void TcpSender::on_ack(const net::Packet& ack) {
+  // --- RTT sampling, Karn's rule: skip samples echoed off retransmissions.
+  // The receiver echoes (in ack.seq) the data seq that triggered this ACK
+  // and (in ack.ts_echo) that packet's send timestamp.
+  if (ack.seq != net::kNoSeq && !sb_.was_retransmitted(ack.seq) &&
+      ack.ts_echo > 0.0) {
+    const double sample = sim_.now() - ack.ts_echo;
+    rtt_.add_sample(sample);
+    meas_.note_rtt(sim_.now(), sample);
+  }
+
+  // --- cumulative advance (common to all variants).
+  const std::int64_t newly_acked = sb_.advance(ack.ack);
+  if (newly_acked > 0) {
+    meas_.note_acked(newly_acked);
+    rtt_.reset_backoff();  // forward progress clears timeout backoff (Karn)
+  }
+
+  // ECN: an echoed CE mark is a congestion signal, honoured at most once
+  // per recovery episode (like a loss, but with nothing to retransmit).
+  if (params_.ecn && ack.ece) {
+    if (in_recovery_ && sb_.una() >= recovery_point_) in_recovery_ = false;
+    if (!in_recovery_) {
+      in_recovery_ = true;
+      recovery_point_ = sb_.high();
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      set_cwnd(ssthresh_);
+      meas_.note_congestion_signal();
+      meas_.note_window_cut();
+    }
+  }
+
+  switch (params_.variant) {
+    case TcpVariant::kSack:
+      on_ack_sack(ack, newly_acked);
+      break;
+    case TcpVariant::kReno:
+    case TcpVariant::kTahoe:
+      on_ack_reno(ack, newly_acked);
+      break;
+  }
+
+  if (sb_.outstanding() > 0)
+    restart_rexmit_timer();
+  else
+    rexmit_timer_.cancel();
+
+  send_what_we_can();
+}
+
+void TcpSender::on_ack_sack(const net::Packet& ack,
+                            std::int64_t newly_acked) {
+  sb_.apply_sack(ack.sack.data(), ack.n_sack);
+  const int new_losses = sb_.detect_losses(params_.dupthresh);
+
+  // Recovery state machine: one halving per loss episode.
+  if (in_recovery_ && sb_.una() >= recovery_point_) in_recovery_ = false;
+  if (new_losses > 0 && !in_recovery_) {
+    in_recovery_ = true;
+    recovery_point_ = sb_.high();
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    set_cwnd(ssthresh_);
+    meas_.note_congestion_signal();
+    meas_.note_window_cut();
+  }
+
+  // Window growth (not during recovery, per ns-2 sack1).
+  if (newly_acked > 0 && !in_recovery_) grow_window();
+}
+
+void TcpSender::on_ack_reno(const net::Packet& ack,
+                            std::int64_t newly_acked) {
+  (void)ack;  // Reno/Tahoe ignore the SACK blocks entirely
+  if (newly_acked == 0) {
+    if (sb_.outstanding() == 0) return;  // stray ACK
+    ++dupacks_;
+    if (!in_recovery_ && dupacks_ == params_.dupthresh) {
+      // Fast retransmit.
+      meas_.note_congestion_signal();
+      meas_.note_window_cut();
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      sb_.on_retransmit(sb_.una());
+      send_packet(sb_.una(), /*rexmit=*/true);
+      if (params_.variant == TcpVariant::kTahoe) {
+        // Tahoe: no fast recovery — collapse and slow-start.
+        set_cwnd(1.0);
+        dupacks_ = 0;
+      } else {
+        // Reno: halve and inflate by the dupacks already seen.
+        in_recovery_ = true;
+        recovery_point_ = sb_.high();
+        set_cwnd(ssthresh_);
+        inflation_ = static_cast<double>(params_.dupthresh);
+      }
+    } else if (in_recovery_) {
+      inflation_ += 1.0;  // every further dupack means a packet left the pipe
+    }
+    return;
+  }
+
+  // New cumulative ACK.
+  dupacks_ = 0;
+  if (in_recovery_) {
+    if (sb_.una() >= recovery_point_) {
+      in_recovery_ = false;  // full recovery: deflate
+      inflation_ = 0.0;
+    } else {
+      // Partial ACK (NewReno behaviour): the next hole is also gone;
+      // retransmit it immediately and stay in recovery.
+      sb_.on_retransmit(sb_.una());
+      send_packet(sb_.una(), /*rexmit=*/true);
+      inflation_ = std::max(0.0, inflation_ - static_cast<double>(newly_acked));
+      return;
+    }
+  }
+  grow_window();
+}
+
+void TcpSender::send_what_we_can() {
+  if (!started_) return;
+  if (params_.variant == TcpVariant::kSack) {
+    while (true) {
+      const net::SeqNum rexmit = sb_.next_to_retransmit();
+      if (rexmit != net::kNoSeq) {
+        if (sb_.pipe() >= static_cast<std::int64_t>(cwnd_)) break;
+        send_packet(rexmit, /*rexmit=*/true);
+        continue;
+      }
+      // New data: bounded by both the window from una and the pipe.
+      if (sb_.high() >= sb_.una() + static_cast<std::int64_t>(cwnd_)) break;
+      if (sb_.pipe() >= static_cast<std::int64_t>(cwnd_)) break;
+      send_packet(sb_.high(), /*rexmit=*/false);
+    }
+    return;
+  }
+  // Reno/Tahoe: plain window from una, inflated during fast recovery.
+  const auto wnd = static_cast<std::int64_t>(cwnd_ + inflation_);
+  while (sb_.high() < sb_.una() + wnd)
+    send_packet(sb_.high(), /*rexmit=*/false);
+}
+
+void TcpSender::send_packet(net::SeqNum seq, bool rexmit) {
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.flow = flow_;
+  p.src = node_;
+  p.dst = dst_node_;
+  p.src_port = port_;
+  p.dst_port = dst_port_;
+  p.size_bytes = params_.packet_bytes;
+  p.seq = seq;
+  p.ts_echo = sim_.now();
+  p.is_rexmit = rexmit;
+  p.ect = params_.ecn;
+
+  if (rexmit)
+    sb_.on_retransmit(seq);
+  else
+    sb_.on_send(seq);
+
+  pacer_.send(p);
+  if (!rexmit_timer_.armed()) restart_rexmit_timer();
+}
+
+void TcpSender::restart_rexmit_timer() { rexmit_timer_.schedule(rtt_.rto()); }
+
+void TcpSender::on_timeout() {
+  if (sb_.outstanding() == 0) return;
+  meas_.note_timeout();
+  meas_.note_congestion_signal();
+  meas_.note_window_cut();
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  set_cwnd(1.0);
+  in_recovery_ = false;
+  dupacks_ = 0;
+  inflation_ = 0.0;
+  rtt_.back_off();
+  sb_.mark_all_lost();
+  if (params_.variant != TcpVariant::kSack) {
+    // Go-back-N restart: retransmit the first outstanding packet now; the
+    // rest follow as the window re-opens.
+    send_packet(sb_.una(), /*rexmit=*/true);
+  }
+  restart_rexmit_timer();
+  send_what_we_can();
+}
+
+}  // namespace rlacast::tcp

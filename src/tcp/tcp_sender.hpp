@@ -1,0 +1,118 @@
+// TCP SACK sender (ns-2 "sack1"-style, packet-granularity sequence space).
+//
+// Implements the congestion control loop §4.1 of the paper models:
+//   * slow start:  cwnd += 1 per new ACK while cwnd < ssthresh;
+//   * congestion avoidance:  cwnd += 1/cwnd per new ACK;
+//   * SACK loss detection: a packet is lost when dupthresh (3) packets above
+//     it have been SACKed;
+//   * fast recovery with pipe-based transmission (conservation of packets),
+//     one window halving per recovery episode;
+//   * retransmission timeout: cwnd = 1, ssthresh = cwnd/2, exponential
+//     backoff (Karn), scoreboard restart.
+//
+// The application is an infinite FTP source: there is always data to send.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/agent.hpp"
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "stats/flow_measurement.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/scoreboard.hpp"
+
+namespace rlacast::tcp {
+
+/// Congestion-control flavour of the sender.  The paper's background
+/// traffic is SACK TCP; Reno and Tahoe are provided for comparison runs
+/// (the paper cites Fall & Floyd's Tahoe/Reno/SACK study for the "multiple
+/// drops in one window = one signal" behaviour).
+enum class TcpVariant {
+  kSack,  // scoreboard loss detection + pipe-based recovery (default)
+  kReno,  // dupack-count fast retransmit + window-inflation fast recovery
+  kTahoe  // dupack-count fast retransmit, then slow start from 1
+};
+
+struct TcpParams {
+  TcpVariant variant = TcpVariant::kSack;
+  double initial_cwnd = 1.0;
+  double initial_ssthresh = 64.0;
+  double max_cwnd = 1e6;          // receiver window, packets
+  int dupthresh = 3;
+  std::int32_t packet_bytes = net::kDataPacketBytes;
+  std::int32_t ack_bytes = net::kAckPacketBytes;
+  RttEstimatorParams rtt{};
+  // Random per-packet sender processing time, Uniform(0, max): §3.1's
+  // phase-effect elimination. 0 disables.
+  sim::SimTime max_send_overhead = 0.0;
+  // ECN (RFC 3168, simplified): mark data ECN-capable and treat an echoed
+  // CE (ECE on an ACK) as a congestion signal — one window halving per
+  // episode, no packet loss required. Needs ECN-enabled RED gateways.
+  bool ecn = false;
+};
+
+class TcpSender final : public net::Agent {
+ public:
+  /// The sender lives at (`node`, `port`) and talks to a TcpReceiver at
+  /// (`dst_node`, `dst_port`). `flow` tags its packets for tracing.
+  TcpSender(net::Network& network, net::NodeId node, net::PortId port,
+            net::NodeId dst_node, net::PortId dst_port, net::FlowId flow,
+            TcpParams params = {});
+
+  /// Opens the connection at absolute simulation time `when`.
+  void start_at(sim::SimTime when);
+
+  void on_receive(const net::Packet& p) override;
+
+  // --- observability ---------------------------------------------------------
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  bool in_recovery() const { return in_recovery_; }
+  net::SeqNum highest_sent() const { return sb_.high(); }
+  net::SeqNum una() const { return sb_.una(); }
+  const RttEstimator& rtt() const { return rtt_; }
+  stats::FlowMeasurement& measurement() { return meas_; }
+  const stats::FlowMeasurement& measurement() const { return meas_; }
+  const TcpParams& params() const { return params_; }
+
+ private:
+  void set_cwnd(double w);
+  void on_ack(const net::Packet& ack);
+  void on_ack_sack(const net::Packet& ack, std::int64_t newly_acked);
+  void on_ack_reno(const net::Packet& ack, std::int64_t newly_acked);
+  void grow_window();
+  void on_timeout();
+  void send_what_we_can();
+  void send_packet(net::SeqNum seq, bool rexmit);
+  void restart_rexmit_timer();
+
+  net::Network& network_;
+  sim::Simulator& sim_;
+  net::NodeId node_;
+  net::PortId port_;
+  net::NodeId dst_node_;
+  net::PortId dst_port_;
+  net::FlowId flow_;
+  TcpParams params_;
+
+  net::SendPacer pacer_;
+  Scoreboard sb_;
+  RttEstimator rtt_;
+  sim::Timer rexmit_timer_;
+
+  double cwnd_;
+  double ssthresh_;
+  bool in_recovery_ = false;
+  net::SeqNum recovery_point_ = 0;
+  bool started_ = false;
+  // Reno/Tahoe dupack machinery.
+  int dupacks_ = 0;
+  double inflation_ = 0.0;  // Reno fast-recovery window inflation
+
+  stats::FlowMeasurement meas_;
+};
+
+}  // namespace rlacast::tcp

@@ -1,0 +1,35 @@
+#include "topo/flow_rows.hpp"
+
+#include <cassert>
+
+namespace rlacast::topo {
+
+FlowRow make_row(const stats::FlowMeasurement& m, sim::SimTime t_end) {
+  FlowRow r;
+  r.throughput_pps = m.throughput_pps(t_end);
+  r.avg_cwnd = m.avg_cwnd(t_end);
+  r.avg_rtt = m.avg_rtt();
+  r.cong_signals = m.congestion_signals();
+  r.window_cuts = m.window_cuts();
+  r.forced_cuts = m.forced_cuts();
+  r.timeouts = m.timeouts();
+  return r;
+}
+
+std::size_t worst_index(const std::vector<FlowRow>& rows) {
+  assert(!rows.empty());
+  std::size_t w = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    if (rows[i].throughput_pps < rows[w].throughput_pps) w = i;
+  return w;
+}
+
+std::size_t best_index(const std::vector<FlowRow>& rows) {
+  assert(!rows.empty());
+  std::size_t b = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    if (rows[i].throughput_pps > rows[b].throughput_pps) b = i;
+  return b;
+}
+
+}  // namespace rlacast::topo

@@ -1,0 +1,30 @@
+// Result rows shared by every scenario runner: exactly the columns the
+// paper's Figures 7, 9 and 10 report per flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/flow_measurement.hpp"
+
+namespace rlacast::topo {
+
+struct FlowRow {
+  double throughput_pps = 0.0;  // packets/second over the measured period
+  double avg_cwnd = 0.0;        // time-averaged congestion window
+  double avg_rtt = 0.0;         // mean per-packet RTT (clean packets only)
+  std::uint64_t cong_signals = 0;
+  std::uint64_t window_cuts = 0;
+  std::uint64_t forced_cuts = 0;
+  std::uint64_t timeouts = 0;
+};
+
+/// Builds a row from a FlowMeasurement at end-of-run time `t_end`.
+FlowRow make_row(const stats::FlowMeasurement& m, sim::SimTime t_end);
+
+/// Index of the row with the smallest / largest throughput.
+std::size_t worst_index(const std::vector<FlowRow>& rows);
+std::size_t best_index(const std::vector<FlowRow>& rows);
+
+}  // namespace rlacast::topo

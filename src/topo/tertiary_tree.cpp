@@ -1,0 +1,234 @@
+#include "topo/tertiary_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "net/network.hpp"
+#include "rla/rla_receiver.hpp"
+#include "rla/rla_sender.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_receiver.hpp"
+
+namespace rlacast::topo {
+namespace {
+
+double pps_to_bps(double pps, std::int32_t pkt_bytes) {
+  return pps * static_cast<double>(pkt_bytes) * 8.0;
+}
+
+struct LinkRef {
+  net::NodeId from;
+  net::NodeId to;
+  int level;   // 1..4
+  int index;   // 1-based within its level (L21 = level 2, index 1)
+};
+
+}  // namespace
+
+std::string tree_case_name(TreeCase c) {
+  switch (c) {
+    case TreeCase::kL1:
+      return "L1";
+    case TreeCase::kL3All:
+      return "L3i, i=1..9";
+    case TreeCase::kL4All:
+      return "L4i, i=1..27";
+    case TreeCase::kL4Some:
+      return "L4i, i=1..5";
+    case TreeCase::kL21:
+      return "L21";
+    case TreeCase::kL2AllHetero:
+      return "L2i, i=1..3 (hetero)";
+    case TreeCase::kL3AllHetero:
+      return "L3i, i=1..9 (hetero)";
+  }
+  return "?";
+}
+
+TreeResult run_tertiary_tree(const TreeConfig& cfg) {
+  sim::Simulator sim(cfg.seed);
+  net::Network net(sim);
+
+  // --- nodes -----------------------------------------------------------------
+  const net::NodeId s = net.add_node();
+  const net::NodeId g1 = net.add_node();
+  std::array<net::NodeId, 3> g2{};
+  std::array<net::NodeId, 9> g3{};
+  std::array<net::NodeId, 27> leaf{};
+  for (auto& n : g2) n = net.add_node();
+  for (auto& n : g3) n = net.add_node();
+  for (auto& n : leaf) n = net.add_node();
+
+  // --- receiver set ----------------------------------------------------------
+  // Leaves R1..R27 always; gateway receivers G31..G39 in the heterogeneous
+  // variant (their RTT excludes the 100 ms leaf hop).
+  std::vector<net::NodeId> receivers(leaf.begin(), leaf.end());
+  if (cfg.gateway_receivers)
+    receivers.insert(receivers.end(), g3.begin(), g3.end());
+  const std::size_t n_rcvrs = receivers.size();
+
+  // --- link table with congestion marking -------------------------------------
+  std::vector<LinkRef> link_refs;
+  link_refs.push_back({s, g1, 1, 1});
+  for (int i = 0; i < 3; ++i) link_refs.push_back({g1, g2[size_t(i)], 2, i + 1});
+  for (int i = 0; i < 9; ++i)
+    link_refs.push_back({g2[size_t(i / 3)], g3[size_t(i)], 3, i + 1});
+  for (int i = 0; i < 27; ++i)
+    link_refs.push_back({g3[size_t(i / 3)], leaf[size_t(i)], 4, i + 1});
+
+  auto is_congested = [&](const LinkRef& l) {
+    switch (cfg.bottleneck) {
+      case TreeCase::kL1:
+        return l.level == 1;
+      case TreeCase::kL3All:
+      case TreeCase::kL3AllHetero:
+        return l.level == 3;
+      case TreeCase::kL4All:
+        return l.level == 4;
+      case TreeCase::kL4Some:
+        return l.level == 4 && l.index <= 5;
+      case TreeCase::kL21:
+        return l.level == 2 && l.index == 1;
+      case TreeCase::kL2AllHetero:
+        return l.level == 2;
+    }
+    return false;
+  };
+
+  // Number of background TCP connections traversing a link: one per LEAF
+  // downstream. Gateway receivers (§5.3) join the multicast session only —
+  // Figure 10's small worst/best TCP spread shows the background TCPs all
+  // share the leaf RTT, so no TCP terminates at G31..G39.
+  auto tcp_flows_through = [&](const LinkRef& l) -> int {
+    return l.level == 1 ? 27 : l.level == 2 ? 9 : l.level == 3 ? 3 : 1;
+  };
+
+  const std::int32_t pkt_bytes = cfg.rla.packet_bytes;
+  const auto queue_kind = cfg.gateway == GatewayType::kRed
+                              ? net::QueueKind::kRed
+                              : net::QueueKind::kDropTail;
+  net::LinkConfig base;
+  base.queue = queue_kind;
+  base.buffer_pkts = cfg.buffer_pkts;
+  base.red = cfg.red;
+
+  double slowest_bps = cfg.fast_link_bps;
+  std::vector<net::Link*> bottleneck_links;
+  for (const auto& lr : link_refs) {
+    net::LinkConfig c = base.with_delay(lr.level == 4 ? cfg.leaf_delay
+                                                      : cfg.upper_delay);
+    if (is_congested(lr)) {
+      // The paper's capacity rule: soft-bottleneck share = mu / (m + 1).
+      // §5.2 adds its second multicast session WITHOUT re-scaling links
+      // ("simulated the above scenarios with two overlapping sessions"),
+      // so the +1 stays +1 regardless of session count.
+      const double cap_pps =
+          cfg.share_pps * static_cast<double>(tcp_flows_through(lr) + 1);
+      c.bandwidth_bps = pps_to_bps(cap_pps, pkt_bytes);
+      slowest_bps = std::min(slowest_bps, c.bandwidth_bps);
+    } else {
+      c.bandwidth_bps = cfg.fast_link_bps;
+    }
+    net.connect(lr.from, lr.to, c);
+    if (is_congested(lr)) bottleneck_links.push_back(net.link_between(lr.from, lr.to));
+  }
+  net.build_routes();
+
+  const sim::SimTime overhead =
+      (cfg.gateway == GatewayType::kDropTail && cfg.phase_randomization)
+          ? static_cast<double>(pkt_bytes) * 8.0 / slowest_bps
+          : 0.0;
+
+  // --- multicast sessions ------------------------------------------------------
+  std::vector<std::unique_ptr<rla::RlaSender>> rla_senders;
+  std::vector<std::unique_ptr<rla::RlaReceiver>> rla_receivers;
+  for (int sess = 0; sess < cfg.multicast_sessions; ++sess) {
+    const net::GroupId group = 1 + sess;
+    const net::PortId sender_port = 1000 + sess;
+    rla::RlaParams rp = cfg.rla;
+    rp.max_send_overhead = overhead;
+    auto sender = std::make_unique<rla::RlaSender>(
+        net, s, sender_port, group, /*flow=*/1000 + sess, rp);
+    rla::RlaReceiverOptions ropts;
+    ropts.max_ack_overhead = overhead;
+    for (std::size_t i = 0; i < n_rcvrs; ++i) {
+      net.join_group(group, s, receivers[i]);
+      const net::PortId rport = 10 + sess;
+      const int idx = sender->add_receiver(receivers[i], rport);
+      rla_receivers.push_back(std::make_unique<rla::RlaReceiver>(
+          net, receivers[i], rport, group, s, sender_port, idx, ropts));
+    }
+    rla_senders.push_back(std::move(sender));
+  }
+
+  // --- background TCP: one connection from S to every LEAF --------------------
+  std::vector<std::unique_ptr<tcp::TcpSender>> tcp_senders;
+  std::vector<std::unique_ptr<tcp::TcpReceiver>> tcp_receivers;
+  for (std::size_t i = 0; i < leaf.size(); ++i) {
+    const net::PortId port = 100 + static_cast<net::PortId>(i);
+    tcp::TcpParams tp = cfg.tcp;
+    tp.max_send_overhead = overhead;
+    tcp_receivers.push_back(std::make_unique<tcp::TcpReceiver>(
+        net, leaf[i], port, net::kAckPacketBytes, overhead));
+    tcp_senders.push_back(std::make_unique<tcp::TcpSender>(
+        net, s, port, leaf[i], port, static_cast<net::FlowId>(i + 1), tp));
+  }
+
+  auto starts = sim.rng_stream("start-jitter");
+  for (auto& t : tcp_senders) t->start_at(starts.uniform(0.0, 1.0));
+  for (auto& m : rla_senders) m->start_at(starts.uniform(0.0, 1.0));
+
+  TreeResult res;
+  sim.at(cfg.warmup, [&] {
+    for (auto& m : rla_senders) m->measurement().begin_measurement(sim.now());
+    for (auto& t : tcp_senders) t->measurement().begin_measurement(sim.now());
+  });
+  std::function<void()> sample;
+  if (cfg.window_sample_period > 0.0) {
+    sample = [&] {
+      std::vector<double> row;
+      row.reserve(rla_senders.size());
+      for (auto& m : rla_senders) row.push_back(m->cwnd());
+      res.window_samples.push_back(std::move(row));
+      if (sim.now() + cfg.window_sample_period <= cfg.duration)
+        sim.after(cfg.window_sample_period, sample);
+    };
+    sim.at(cfg.warmup, sample);
+  }
+  sim.run_until(cfg.duration);
+
+  // --- results -------------------------------------------------------------
+  for (auto& m : rla_senders) res.rla.push_back(make_row(m->measurement(), cfg.duration));
+  for (auto& t : tcp_senders) {
+    res.tcps.push_back(make_row(t->measurement(), cfg.duration));
+    res.tcp_signals.push_back(t->measurement().congestion_signals());
+  }
+  auto& first = *rla_senders.front();
+  for (std::size_t i = 0; i < n_rcvrs; ++i)
+    res.rla_signals_per_receiver.push_back(
+        first.signals_from(static_cast<int>(i)));
+  res.num_troubled_final = first.num_trouble_rcvr();
+  res.rla_mcast_rexmits = first.multicast_rexmits();
+  res.rla_ucast_rexmits = first.unicast_rexmits();
+
+  // Mark which receivers sit behind a congested hop (Figure 8 grouping).
+  res.receiver_congested.assign(n_rcvrs, false);
+  for (std::size_t i = 0; i < n_rcvrs; ++i) {
+    // Walk the route from S to the receiver and check each hop.
+    net::NodeId at = s;
+    while (at != receivers[i]) {
+      net::Link* hop = net.node(at).route(receivers[i]);
+      assert(hop != nullptr);
+      for (const auto& lr : link_refs)
+        if (lr.from == at && lr.to == hop->to() && is_congested(lr))
+          res.receiver_congested[i] = true;
+      at = hop->to();
+    }
+  }
+  for (net::Link* l : bottleneck_links)
+    res.bottleneck_drop_rate.push_back(l->queue().stats().drop_rate());
+  return res;
+}
+
+}  // namespace rlacast::topo

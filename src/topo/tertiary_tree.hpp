@@ -1,0 +1,88 @@
+// The four-level tertiary tree of Figure 6 — the paper's evaluation
+// topology — with the five bottleneck placements of Figures 7/8/9, the
+// two-session variant of §5.2, and the heterogeneous-RTT variant of §5.3
+// (gateway receivers G31..G39, Figure 10).
+//
+// Geometry: S --L1--> G1 --L2i--> G2i (3) --L3i--> G3i (9) --L4i--> Ri (27).
+// Levels 1-3 have 5 ms one-way propagation delay, level 4 has 100 ms.
+// Every node buffers 20 packets; RED gateways use min_th 5 / max_th 15.
+// One background TCP connection runs from S to every receiver leaf.
+// Congested links get capacity 100 pkt/s * (TCP flows through the link + 1),
+// making the soft-bottleneck share min mu_i/(m_i+1) = 100 pkt/s; all other
+// links run at 100 Mbit/s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/red.hpp"
+#include "rla/rla_params.hpp"
+#include "sim/time.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "topo/flat_tree.hpp"  // GatewayType
+#include "topo/flow_rows.hpp"
+
+namespace rlacast::topo {
+
+/// The five "most congested links" rows of Figures 7 and 9.
+enum class TreeCase {
+  kL1,      // case 1: the root link
+  kL3All,   // case 2: all nine level-3 links
+  kL4All,   // case 3: all 27 leaf links
+  kL4Some,  // case 4: leaf links L41..L45 only
+  kL21,     // case 5: one level-2 link
+  // Figure 10 (heterogeneous RTTs; requires gateway_receivers = true):
+  kL2AllHetero,  // case 1 of fig. 10: all three level-2 links
+  kL3AllHetero,  // case 2 of fig. 10: all nine level-3 links
+};
+
+std::string tree_case_name(TreeCase c);
+
+struct TreeConfig {
+  TreeCase bottleneck = TreeCase::kL4All;
+  GatewayType gateway = GatewayType::kDropTail;
+  double share_pps = 100.0;  // target soft-bottleneck per-flow share
+  double fast_link_bps = 100e6;
+  std::size_t buffer_pkts = 20;
+  net::RedParams red{};
+  sim::SimTime upper_delay = sim::milliseconds(5);   // levels 1-3
+  sim::SimTime leaf_delay = sim::milliseconds(100);  // level 4
+  int multicast_sessions = 1;   // 2 reproduces §5.2
+  bool gateway_receivers = false;  // adds G31..G39 as receivers (fig. 10)
+  bool phase_randomization = true;
+  sim::SimTime duration = 400.0;
+  sim::SimTime warmup = 100.0;
+  std::uint64_t seed = 1;
+  /// When > 0, the runner samples every RLA session's cwnd at this period
+  /// (after warm-up) into TreeResult::window_samples — the raw material of
+  /// Figure 5's joint density plot.
+  sim::SimTime window_sample_period = 0.0;
+  rla::RlaParams rla{};
+  tcp::TcpParams tcp{};
+};
+
+struct TreeResult {
+  std::vector<FlowRow> rla;  // one per multicast session
+  std::vector<FlowRow> tcps;  // one per background TCP (per receiver)
+  /// Session 0's congestion-signal count per receiver (Figure 8).
+  std::vector<std::uint64_t> rla_signals_per_receiver;
+  /// Per-TCP congestion-signal counts (window cuts; Figure 8's TCP side).
+  std::vector<std::uint64_t> tcp_signals;
+  /// Whether each receiver sits behind a congested (soft-bottleneck) link.
+  std::vector<bool> receiver_congested;
+  std::vector<double> bottleneck_drop_rate;
+  int num_troubled_final = 0;
+  std::uint64_t rla_mcast_rexmits = 0;
+  std::uint64_t rla_ucast_rexmits = 0;
+  /// window_samples[k][s] = session s's cwnd at the k-th sample instant
+  /// (only filled when TreeConfig::window_sample_period > 0).
+  std::vector<std::vector<double>> window_samples;
+
+  const FlowRow& worst_tcp() const { return tcps[worst_index(tcps)]; }
+  const FlowRow& best_tcp() const { return tcps[best_index(tcps)]; }
+};
+
+TreeResult run_tertiary_tree(const TreeConfig& cfg);
+
+}  // namespace rlacast::topo

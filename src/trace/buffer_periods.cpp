@@ -1,0 +1,59 @@
+#include "trace/buffer_periods.hpp"
+
+namespace rlacast::trace {
+
+BufferPeriodStats analyze_buffer_periods(
+    const std::vector<QueueMonitor::Sample>& samples, std::size_t low,
+    std::size_t high) {
+  BufferPeriodStats out;
+  enum class Phase { kLow, kBusy, kFull };  // kBusy: above low, below high
+  Phase phase = Phase::kLow;
+  double period_start = 0.0;
+  double full_start = 0.0;
+  bool reached_full = false;  // did this excursion touch the full region?
+
+  for (const auto& s : samples) {
+    switch (phase) {
+      case Phase::kLow:
+        if (s.backlog > low) {
+          phase = s.backlog >= high ? Phase::kFull : Phase::kBusy;
+          period_start = s.at;
+          reached_full = phase == Phase::kFull;
+          if (reached_full) full_start = s.at;
+        }
+        break;
+      case Phase::kBusy:
+        if (s.backlog >= high) {
+          phase = Phase::kFull;
+          full_start = s.at;
+          reached_full = true;
+        } else if (s.backlog <= low) {
+          // Excursion over. Only count it as a buffer period if the buffer
+          // actually filled (the paper's low -> full -> low definition).
+          if (reached_full) {
+            out.period_length.add(s.at - period_start);
+            ++out.periods;
+          }
+          phase = Phase::kLow;
+          reached_full = false;
+        }
+        break;
+      case Phase::kFull:
+        if (s.backlog < high) {
+          out.full_length.add(s.at - full_start);
+          if (s.backlog <= low) {
+            out.period_length.add(s.at - period_start);
+            ++out.periods;
+            phase = Phase::kLow;
+            reached_full = false;
+          } else {
+            phase = Phase::kBusy;  // may refill within the same period
+          }
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rlacast::trace

@@ -1,0 +1,33 @@
+// Buffer-period analysis (§3.1).
+//
+// The paper's macro model of a drop-tail gateway carrying TCP: occupancy
+// oscillates between (near-)empty and full; a *buffer period* runs from one
+// low-occupancy epoch through full and back; the *buffer-full period* is
+// the stretch at/near the top during which arrivals are dropped.  The paper
+// observes buffer periods ≫ 2·RTT and full periods ≲ 2·RTT, which justifies
+// grouping losses within 2·srtt into one congestion signal.
+//
+// BufferPeriodAnalyzer segments a QueueMonitor time series with a
+// low/high-threshold hysteresis and reports the period statistics.
+#pragma once
+
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "trace/queue_monitor.hpp"
+
+namespace rlacast::trace {
+
+struct BufferPeriodStats {
+  stats::Summary period_length;      // low -> full -> low durations
+  stats::Summary full_length;        // contiguous time at/above `high`
+  std::size_t periods = 0;
+};
+
+/// Segments `samples` (uniformly spaced) into buffer periods.
+/// `low` / `high` are backlog thresholds (e.g. 25% and 90% of the buffer).
+BufferPeriodStats analyze_buffer_periods(
+    const std::vector<QueueMonitor::Sample>& samples, std::size_t low,
+    std::size_t high);
+
+}  // namespace rlacast::trace

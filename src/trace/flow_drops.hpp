@@ -1,0 +1,42 @@
+// Per-flow drop accounting for a queue — the measurement behind the
+// drop-tail phase-effect analysis in EXPERIMENTS.md (whose packets does a
+// congested gateway actually discard?).
+//
+// Installs itself as the queue's drop hook; at most one FlowDropCounter
+// (or other hook user) per queue.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/queue.hpp"
+
+namespace rlacast::trace {
+
+class FlowDropCounter {
+ public:
+  explicit FlowDropCounter(net::Queue& queue) {
+    queue.set_drop_hook([this](const net::Packet& p, sim::SimTime) {
+      ++drops_[p.flow];
+      ++total_;
+    });
+  }
+
+  FlowDropCounter(const FlowDropCounter&) = delete;
+  FlowDropCounter& operator=(const FlowDropCounter&) = delete;
+
+  std::uint64_t drops(net::FlowId flow) const {
+    const auto it = drops_.find(flow);
+    return it == drops_.end() ? 0 : it->second;
+  }
+  std::uint64_t total() const { return total_; }
+  const std::unordered_map<net::FlowId, std::uint64_t>& by_flow() const {
+    return drops_;
+  }
+
+ private:
+  std::unordered_map<net::FlowId, std::uint64_t> drops_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rlacast::trace

@@ -1,0 +1,74 @@
+#include "trace/packet_trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace rlacast::trace {
+namespace {
+
+char type_code(net::PacketType t) {
+  switch (t) {
+    case net::PacketType::kData:
+      return 'D';
+    case net::PacketType::kAck:
+      return 'A';
+    case net::PacketType::kReport:
+      return 'R';
+    case net::PacketType::kCtrl:
+      return 'C';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string Record::render() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << static_cast<char>(op) << ' ' << at << ' ' << from << ' ' << to << ' '
+     << type_code(type) << ' ' << size_bytes << ' ' << flow << ' ' << seq
+     << ' ' << ack << ' ' << uid;
+  return os.str();
+}
+
+void PacketTrace::log(Op op, sim::SimTime at, net::NodeId from, net::NodeId to,
+                      const net::Packet& p) {
+  ++total_;
+  const Record rec{op,      at,    from,  to,    p.type,
+                   p.size_bytes, p.flow, p.seq, p.ack, p.uid};
+  if (max_records_ == 0) {
+    records_.push_back(rec);
+    return;
+  }
+  if (records_.size() < max_records_) {
+    records_.push_back(rec);
+  } else {
+    records_[head_] = rec;
+    head_ = (head_ + 1) % max_records_;
+  }
+}
+
+std::size_t PacketTrace::count_if(
+    const std::function<bool(const Record&)>& pred) const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (pred(r)) ++n;
+  return n;
+}
+
+std::size_t PacketTrace::drops() const {
+  return count_if([](const Record& r) { return r.op == Op::kDrop; });
+}
+
+std::size_t PacketTrace::drops_for_flow(net::FlowId flow) const {
+  return count_if([flow](const Record& r) {
+    return r.op == Op::kDrop && r.flow == flow;
+  });
+}
+
+void PacketTrace::write(std::ostream& os) const {
+  for (const auto& r : records_) os << r.render() << '\n';
+}
+
+}  // namespace rlacast::trace

@@ -1,0 +1,83 @@
+// Packet event tracing, ns-2 style.
+//
+// A PacketTrace collects one record per traced event:
+//   '+' enqueue   '-' dequeue   'd' drop   'r' receive (delivered to agent)
+// with timestamp, hop (from->to), and the packet's transport header.  The
+// text rendering matches the spirit of ns-2 trace files so existing habits
+// (grep for " d ", awk on columns) carry over:
+//
+//   <op> <time> <from> <to> <type> <size> <flow> <seq> <ack> <uid>
+//
+// Tracing attaches to Queue drop hooks and can be fed manually by scenario
+// code for send/receive events.  It is a debugging/analysis facility: the
+// benches that reproduce paper figures use the cheaper dedicated monitors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace rlacast::trace {
+
+enum class Op : char {
+  kEnqueue = '+',
+  kDequeue = '-',
+  kDrop = 'd',
+  kReceive = 'r',
+};
+
+struct Record {
+  Op op;
+  sim::SimTime at;
+  net::NodeId from;
+  net::NodeId to;
+  net::PacketType type;
+  std::int32_t size_bytes;
+  net::FlowId flow;
+  net::SeqNum seq;
+  net::SeqNum ack;
+  std::uint64_t uid;
+
+  std::string render() const;
+};
+
+class PacketTrace {
+ public:
+  /// Maximum records retained (oldest evicted). 0 = unbounded.
+  explicit PacketTrace(std::size_t max_records = 0)
+      : max_records_(max_records) {}
+
+  void log(Op op, sim::SimTime at, net::NodeId from, net::NodeId to,
+           const net::Packet& p);
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t total_logged() const { return total_; }
+
+  /// Number of retained records matching a predicate.
+  std::size_t count_if(const std::function<bool(const Record&)>& pred) const;
+
+  /// Convenience filters.
+  std::size_t drops() const;
+  std::size_t drops_for_flow(net::FlowId flow) const;
+
+  /// Writes every retained record as one line each.
+  void write(std::ostream& os) const;
+
+  void clear() {
+    records_.clear();
+  }
+
+ private:
+  std::size_t max_records_;
+  std::vector<Record> records_;
+  std::uint64_t total_ = 0;
+  std::size_t head_ = 0;  // ring start when bounded
+};
+
+}  // namespace rlacast::trace

@@ -1,0 +1,40 @@
+#include "trace/queue_monitor.hpp"
+
+#include <algorithm>
+
+namespace rlacast::trace {
+
+QueueMonitor::QueueMonitor(sim::Simulator& sim, const net::Queue& queue,
+                           sim::SimTime period, sim::SimTime start,
+                           sim::SimTime stop)
+    : sim_(sim), queue_(queue), period_(period), stop_(stop) {
+  sim_.at(start, [this] { tick(); });
+}
+
+void QueueMonitor::tick() {
+  samples_.push_back({sim_.now(), queue_.length()});
+  if (sim_.now() + period_ <= stop_) sim_.after(period_, [this] { tick(); });
+}
+
+double QueueMonitor::fraction_at_or_above(std::size_t threshold) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_)
+    if (s.backlog >= threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+double QueueMonitor::mean_backlog() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += static_cast<double>(s.backlog);
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::size_t QueueMonitor::peak_backlog() const {
+  std::size_t peak = 0;
+  for (const auto& s : samples_) peak = std::max(peak, s.backlog);
+  return peak;
+}
+
+}  // namespace rlacast::trace

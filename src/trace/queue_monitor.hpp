@@ -1,0 +1,46 @@
+// Periodic sampling of a queue's backlog into a time series — the raw
+// material for §3.1's "macro-effect" analysis of drop-tail buffers
+// (occupancy oscillating between near-empty and full).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace rlacast::trace {
+
+class QueueMonitor {
+ public:
+  struct Sample {
+    sim::SimTime at;
+    std::size_t backlog;
+  };
+
+  /// Samples `queue.length()` every `period` seconds from `start` to `stop`.
+  QueueMonitor(sim::Simulator& sim, const net::Queue& queue,
+               sim::SimTime period, sim::SimTime start, sim::SimTime stop);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Fraction of samples with backlog >= threshold.
+  double fraction_at_or_above(std::size_t threshold) const;
+
+  /// Mean backlog across samples.
+  double mean_backlog() const;
+
+  /// Peak backlog observed.
+  std::size_t peak_backlog() const;
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  const net::Queue& queue_;
+  sim::SimTime period_;
+  sim::SimTime stop_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace rlacast::trace

@@ -1,0 +1,183 @@
+// Tests of the rate-based baselines (LTRC / MBFC): AIMD mechanics, the
+// threshold decision rules, and the qualitative failure modes §1 describes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/ltrc.hpp"
+#include "baselines/mbfc.hpp"
+#include "baselines/rate_receiver.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rlacast::baselines {
+namespace {
+
+/// Star topology for baseline senders. The trunk s->hub has a configurable
+/// capacity; individual leaf legs can be slowed to congest a subset of the
+/// receivers.
+struct Star {
+  sim::Simulator sim{1};
+  net::Network net{sim};
+  net::NodeId s, hub;
+  std::vector<net::NodeId> leaves;
+  std::vector<std::unique_ptr<RateReceiver>> rcvrs;
+  net::Link* trunk = nullptr;
+
+  Star(int n, double trunk_pps, std::vector<double> leaf_pps = {}) {
+    s = net.add_node();
+    hub = net.add_node();
+    net::LinkConfig t;
+    t.bandwidth_bps = trunk_pps * 8000.0;
+    t.delay = 0.01;
+    t.buffer_pkts = 20;
+    net.connect(s, hub, t);
+    for (int i = 0; i < n; ++i) {
+      leaves.push_back(net.add_node());
+      net::LinkConfig leg;
+      leg.delay = 0.01;
+      leg.buffer_pkts = 20;
+      leg.bandwidth_bps = 1e9;
+      if (static_cast<std::size_t>(i) < leaf_pps.size() && leaf_pps[size_t(i)] > 0)
+        leg.bandwidth_bps = leaf_pps[size_t(i)] * 8000.0;
+      net.connect(hub, leaves.back(), leg);
+    }
+    net.build_routes();
+    trunk = net.link_between(s, hub);
+  }
+
+  template <typename Sender, typename Params>
+  std::unique_ptr<Sender> make_sender(Params params) {
+    const net::GroupId g = 1;
+    auto snd = std::make_unique<Sender>(net, s, 100, g, 1, params);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      net.join_group(g, s, leaves[i]);
+      const int idx = snd->add_receiver();
+      rcvrs.push_back(std::make_unique<RateReceiver>(net, leaves[i], 2, g, s,
+                                                     100, idx));
+      rcvrs.back()->start_at(0.5);
+    }
+    snd->start_at(0.1);
+    return snd;
+  }
+};
+
+TEST(RateReceiver, ReportsZeroLossOnCleanPath) {
+  Star star(2, 10000.0);
+  auto snd = star.make_sender<LtrcSender>(LtrcParams{});
+  star.sim.run_until(20.0);
+  for (auto& r : star.rcvrs) {
+    EXPECT_DOUBLE_EQ(r->loss_ewma(), 0.0);
+    EXPECT_GT(r->data_packets_received(), 0u);
+  }
+  EXPECT_EQ(snd->rate_cuts(), 0u);
+}
+
+TEST(RateSender, LinearIncreaseWithoutCongestion) {
+  Star star(2, 100000.0);
+  LtrcParams p;
+  p.rate.initial_rate_pps = 10.0;
+  p.rate.update_interval = 1.0;
+  p.rate.nominal_rtt = 0.5;  // slope = 4 pps per update
+  auto snd = star.make_sender<LtrcSender>(p);
+  star.sim.run_until(10.4);
+  // 10 policy ticks after starting at t=0.1: rate = 10 + 10*4 = 50.
+  EXPECT_NEAR(snd->rate_pps(), 50.0, 4.1);
+}
+
+TEST(Ltrc, CutsWhenLossExceedsThreshold) {
+  Star star(3, 50.0);  // tight trunk: the CBR ramp will overrun it
+  LtrcParams p;
+  p.loss_threshold = 0.02;
+  p.rate.initial_rate_pps = 40.0;
+  auto snd = star.make_sender<LtrcSender>(p);
+  star.sim.run_until(60.0);
+  EXPECT_GT(snd->rate_cuts(), 0u);
+  // Long-run average rate must hover near capacity, not run away.
+  EXPECT_LT(snd->rate_mean().mean(60.0), 150.0);
+}
+
+TEST(Ltrc, HighThresholdIgnoresCongestion) {
+  // §1's criticism: the threshold is topology-dependent. An over-generous
+  // threshold never triggers, and the rate climbs far past capacity.
+  Star star(3, 50.0);
+  LtrcParams p;
+  p.loss_threshold = 0.98;
+  p.rate.initial_rate_pps = 40.0;
+  auto snd = star.make_sender<LtrcSender>(p);
+  star.sim.run_until(60.0);
+  EXPECT_EQ(snd->rate_cuts(), 0u);
+  EXPECT_GT(snd->rate_pps(), 300.0);
+}
+
+TEST(Ltrc, DeadTimeLimitsCutFrequency) {
+  Star star(2, 30.0);
+  LtrcParams p;
+  p.loss_threshold = 0.01;
+  p.rate.dead_time = 5.0;
+  p.rate.initial_rate_pps = 100.0;  // start far above capacity
+  auto snd = star.make_sender<LtrcSender>(p);
+  star.sim.run_until(30.0);
+  // At most one cut per dead_time once congestion persists.
+  EXPECT_LE(snd->rate_cuts(), 7u);
+  EXPECT_GE(snd->rate_cuts(), 2u);
+}
+
+TEST(Mbfc, LowPopulationThresholdTracksSlowestReceiver) {
+  // One congested receiver out of four; population threshold 0 means a
+  // single congested receiver triggers cuts (the degenerate case §1 notes).
+  Star star(4, 1e5, {30.0});  // leaf 0 capped at 30 pkt/s
+  MbfcParams p;
+  p.loss_threshold = 0.02;
+  p.population_threshold = 0.0;
+  p.rate.initial_rate_pps = 60.0;
+  auto snd = star.make_sender<MbfcSender>(p);
+  star.sim.run_until(60.0);
+  EXPECT_GT(snd->rate_cuts(), 0u);
+  EXPECT_LT(snd->rate_mean().mean(60.0), 120.0);
+}
+
+TEST(Mbfc, HighPopulationThresholdIgnoresMinority) {
+  // The same single congested receiver with a 50% population threshold:
+  // 1/4 < 50%, so MBFC never reacts and the slow receiver is abandoned.
+  Star star(4, 1e5, {30.0});
+  MbfcParams p;
+  p.loss_threshold = 0.02;
+  p.population_threshold = 0.5;
+  p.rate.initial_rate_pps = 60.0;
+  auto snd = star.make_sender<MbfcSender>(p);
+  star.sim.run_until(60.0);
+  EXPECT_EQ(snd->rate_cuts(), 0u);
+  EXPECT_GT(snd->rate_pps(), 200.0);
+  // The congested receiver's loss EWMA confirms persistent congestion.
+  EXPECT_GT(star.rcvrs[0]->loss_ewma(), 0.02);
+}
+
+TEST(Mbfc, ReactsWhenMajorityCongested) {
+  // All receivers share the congested trunk: fraction = 1 > any threshold.
+  Star star(4, 50.0);
+  MbfcParams p;
+  p.loss_threshold = 0.02;
+  p.population_threshold = 0.5;
+  p.rate.initial_rate_pps = 80.0;
+  auto snd = star.make_sender<MbfcSender>(p);
+  star.sim.run_until(60.0);
+  EXPECT_GT(snd->rate_cuts(), 0u);
+  EXPECT_GT(snd->congested_fraction(), 0.5);
+}
+
+TEST(RateSender, RateStaysWithinConfiguredBounds) {
+  Star star(2, 20.0);
+  LtrcParams p;
+  p.loss_threshold = 0.001;
+  p.rate.initial_rate_pps = 4.0;
+  p.rate.min_rate_pps = 2.0;
+  p.rate.dead_time = 0.0;  // cut on every tick if congested
+  auto snd = star.make_sender<LtrcSender>(p);
+  star.sim.run_until(120.0);
+  EXPECT_GE(snd->rate_pps(), 2.0);
+}
+
+}  // namespace
+}  // namespace rlacast::baselines

@@ -1,0 +1,66 @@
+// Property sweep: the essential-fairness guarantees must hold across seeds
+// and gateway types, not just for one lucky run.  Each case runs the
+// 4-branch restricted topology and checks the full §2 contract:
+//   * RLA throughput within (a*WTCP, b*WTCP)  [Theorems I/II]
+//   * TCP is not shut out (minimum requirement 1)
+//   * RLA is not shut out (minimum requirement 2)
+//   * forced cuts stay rare (§3.3's "rarely invoked")
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/formulas.hpp"
+#include "topo/flat_tree.hpp"
+
+namespace rlacast {
+namespace {
+
+using Param = std::tuple<std::uint64_t /*seed*/, topo::GatewayType>;
+
+class FairnessSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(FairnessSweep, EssentialFairnessContractHolds) {
+  const auto [seed, gateway] = GetParam();
+  topo::FlatTreeConfig cfg;
+  cfg.branches.assign(4, topo::FlatBranch{200.0, 1});
+  cfg.gateway = gateway;
+  cfg.duration = 200.0;
+  cfg.warmup = 50.0;
+  cfg.seed = seed;
+  const auto res = topo::run_flat_tree(cfg);
+
+  const double wtcp = res.worst_tcp().throughput_pps;
+  ASSERT_GT(wtcp, 0.0);
+  const double ratio = res.rla.throughput_pps / wtcp;
+  const auto bounds = gateway == topo::GatewayType::kRed
+                          ? model::theorem1_red_bounds(4)
+                          : model::theorem2_droptail_bounds(4);
+  EXPECT_GT(ratio, bounds.lo) << "seed " << seed;
+  EXPECT_LT(ratio, bounds.hi) << "seed " << seed;
+
+  // Neither side shut out: both get a material share of the 100 pkt/s
+  // per-flow fair share.
+  EXPECT_GT(wtcp, 25.0);
+  EXPECT_GT(res.rla.throughput_pps, 25.0);
+
+  // Forced cuts rare relative to total cuts.
+  EXPECT_LE(res.rla.forced_cuts, res.rla.window_cuts / 4 + 2);
+
+  // All four equally congested receivers end up troubled.
+  EXPECT_EQ(res.num_troubled_final, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndGateways, FairnessSweep,
+    ::testing::Combine(::testing::Values(1u, 7u, 23u),
+                       ::testing::Values(topo::GatewayType::kDropTail,
+                                         topo::GatewayType::kRed)),
+    [](const auto& info) {
+      return std::string(std::get<1>(info.param) == topo::GatewayType::kRed
+                             ? "red"
+                             : "droptail") +
+             "_seed" + std::to_string(std::get<0>(info.param));
+    });
+
+}  // namespace
+}  // namespace rlacast

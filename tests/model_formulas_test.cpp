@@ -1,0 +1,193 @@
+// Tests of the §4 closed forms: limiting cases, algebraic identities the
+// paper states, and the Proposition/Theorem bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/drift.hpp"
+#include "model/formulas.hpp"
+
+namespace rlacast::model {
+namespace {
+
+TEST(Formulas, PaWindowMatchesKnownValues) {
+  // p = 2% -> W = sqrt(2*0.98/0.02) = sqrt(98) ~ 9.9.
+  EXPECT_NEAR(tcp_pa_window(0.02), std::sqrt(98.0), 1e-12);
+  EXPECT_NEAR(tcp_pa_window_approx(0.02), 10.0, 1e-9);
+}
+
+TEST(Formulas, PaWindowDecreasesInP) {
+  double prev = 1e9;
+  for (double p = 0.001; p < 0.2; p *= 2.0) {
+    const double w = tcp_pa_window(p);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Formulas, ApproxConvergesForSmallP) {
+  EXPECT_NEAR(tcp_pa_window(1e-4) / tcp_pa_window_approx(1e-4), 1.0, 1e-4);
+}
+
+TEST(Formulas, MahdaviMatchesPaShape) {
+  // bandwidth = W/rtt with W ~ C/sqrt(p): both formulas differ only by the
+  // constant (1.3 vs sqrt(2) ~ 1.414).
+  const double rtt = 0.2, p = 0.01;
+  const double via_pa = tcp_pa_window_approx(p) / rtt;
+  const double via_mahdavi = tcp_throughput_mahdavi(rtt, p);
+  EXPECT_NEAR(via_mahdavi / via_pa, 1.3 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Formulas, TwoReceiverReducesToTcpWhenOneSilent) {
+  // p2 -> 0: the RLA listens to one receiver with probability 1/2, so its
+  // window exceeds the TCP window at the same p1 (cuts are half as likely),
+  // approaching sqrt(2) * W_TCP.
+  const double p1 = 0.01;
+  const double w = rla_two_receiver_window(p1, 1e-12);
+  EXPECT_NEAR(w / tcp_pa_window(p1), std::sqrt(2.0), 0.01);
+}
+
+TEST(Formulas, TwoReceiverEqualLossMatchesIndependentFormula) {
+  const double p = 0.02;
+  EXPECT_NEAR(rla_two_receiver_window(p, p),
+              rla_independent_loss_window(p, 2), 1e-9);
+}
+
+TEST(Formulas, IndependentFormulaReducesToTcpAtN1) {
+  for (double p : {0.001, 0.01, 0.05}) {
+    EXPECT_NEAR(rla_independent_loss_window(p, 1), tcp_pa_window(p), 1e-9);
+    EXPECT_NEAR(rla_common_loss_window(p, 1), tcp_pa_window(p), 1e-9);
+  }
+}
+
+TEST(Formulas, CorrelationLemma) {
+  // §4.2 Lemma: common losses give a LARGER window than independent losses
+  // of the same per-receiver probability.
+  for (int n : {2, 3, 9, 27}) {
+    for (double p : {0.005, 0.01, 0.03}) {
+      EXPECT_GT(rla_common_loss_window(p, n),
+                rla_independent_loss_window(p, n))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Formulas, PropositionBoundsHoldForBothLossStructures) {
+  for (int n : {2, 3, 9, 27}) {
+    for (double p : {0.005, 0.01, 0.049}) {
+      const Bounds b = proposition_window_bounds(p, n);
+      const double wi = rla_independent_loss_window(p, n);
+      const double wc = rla_common_loss_window(p, n);
+      EXPECT_TRUE(b.contains(wi)) << "indep n=" << n << " p=" << p
+                                  << " w=" << wi << " in (" << b.lo << ","
+                                  << b.hi << ")";
+      EXPECT_TRUE(b.contains(wc)) << "common n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Formulas, TwoReceiverUpperBoundNeedsTroubledRatio) {
+  // §4.2: with x = p2/p1 >= p1/(2-1.5 p1) the two-receiver window stays
+  // below sqrt(2) * sqrt(2(1-p1)/p1); slightly below the threshold it can
+  // exceed it. Verify both sides of the boundary.
+  const double p1 = 0.04;
+  const double x_min = troubled_ratio_threshold(p1);
+  const double hi = std::sqrt(2.0) * tcp_pa_window(p1);
+  EXPECT_LT(rla_two_receiver_window(p1, 2.0 * x_min * p1), hi);
+  EXPECT_GT(rla_two_receiver_window(p1, 0.01 * x_min * p1), hi);
+}
+
+TEST(Formulas, EtaTwentyCoversModerateCongestion) {
+  // The recommended eta = 20 (ratio 0.05) exceeds the required ratio for
+  // every p1 <= 5%, as §4.2 argues.
+  for (double p1 = 0.001; p1 <= 0.05; p1 += 0.001)
+    EXPECT_LE(troubled_ratio_threshold(p1), 0.05) << p1;
+}
+
+TEST(Formulas, EqualCongestionStaysWithinFourTimesTcp) {
+  // §4.3: "if all the troubled receivers have the same degree of
+  // congestion, the RLA results in a throughput no larger than four times
+  // that of the competing TCP throughput for any n". At matched congestion
+  // probability the window ratio is what drives the throughput ratio
+  // (the RLA's larger RTT only shrinks it); verify the closed forms stay
+  // far below 4 for any receiver count and moderate congestion.
+  for (int n : {1, 2, 3, 9, 27, 81, 729}) {
+    for (double p = 0.001; p <= 0.05; p += 0.007) {
+      const double tcp = tcp_pa_window(p);
+      EXPECT_LT(rla_independent_loss_window(p, n) / tcp, 4.0)
+          << "indep n=" << n << " p=" << p;
+      EXPECT_LT(rla_common_loss_window(p, n) / tcp, 4.0)
+          << "common n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Formulas, CommonLossRatioSaturatesInN) {
+  // The common-loss window ratio converges (to ~1.13x TCP) rather than
+  // growing with n — the reason equal congestion cannot approach the
+  // Proposition's sqrt(n) ceiling.
+  const double p = 0.01;
+  const double r27 = rla_common_loss_window(p, 27) / tcp_pa_window(p);
+  const double r729 = rla_common_loss_window(p, 729) / tcp_pa_window(p);
+  EXPECT_NEAR(r729, r27, 0.01);
+  EXPECT_LT(r729, 1.2);
+}
+
+TEST(Formulas, TheoremBoundsScale) {
+  const Bounds red = theorem1_red_bounds(27);
+  EXPECT_NEAR(red.lo, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(red.hi, std::sqrt(81.0), 1e-12);
+  const Bounds dt = theorem2_droptail_bounds(27);
+  EXPECT_NEAR(dt.lo, 0.25, 1e-12);
+  EXPECT_NEAR(dt.hi, 54.0, 1e-12);
+  // RED bounds are tighter than drop-tail bounds (b smaller, a larger).
+  EXPECT_GT(red.lo, dt.lo);
+  EXPECT_LT(red.hi, dt.hi);
+}
+
+TEST(Drift, PositiveBelowPipe) {
+  DriftField f(3, 10.0);
+  const auto d = f.drift(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.dx, 2.0);
+  EXPECT_DOUBLE_EQ(d.dy, 2.0);
+  EXPECT_EQ(f.signals_at(2.0, 3.0), 0);
+}
+
+TEST(Drift, NegativeForLargeWindowsAbovePipe) {
+  DriftField f(3, 10.0);
+  const auto d = f.drift(20.0, 20.0);
+  EXPECT_LT(d.dx, 0.0);
+  EXPECT_LT(d.dy, 0.0);
+}
+
+TEST(Drift, SymmetricUnderExchange) {
+  DriftField f(3, 10.0);
+  const auto d1 = f.drift(4.0, 8.0);
+  const auto d2 = f.drift(8.0, 4.0);
+  EXPECT_DOUBLE_EQ(d1.dx, d2.dy);
+  EXPECT_DOUBLE_EQ(d1.dy, d2.dx);
+}
+
+TEST(Drift, SignFlipsAtPipeBoundary) {
+  // Along the diagonal, drift is +2 strictly below the pipe and already
+  // negative at the boundary (where the windows are large enough for the
+  // expected halving loss to dominate the +2 gain): the stable operating
+  // region hugs w1 + w2 = pipe — the desired point of Figure 3.
+  DriftField f(3, 10.0);
+  const auto at = [&](double w) { return f.drift(w, w).dx; };
+  EXPECT_DOUBLE_EQ(at(4.9), 2.0);   // below pipe: deterministic growth
+  EXPECT_LT(at(5.0), 0.0);          // at the boundary: contraction
+  EXPECT_LT(at(20.0), at(5.0));     // deeper overshoot, stronger pull-back
+}
+
+TEST(Drift, StaircaseAddsSignalsPerRegion) {
+  DriftField f({{10.0, 1}, {20.0, 2}});
+  EXPECT_EQ(f.signals_at(4.0, 4.0), 0);
+  EXPECT_EQ(f.signals_at(6.0, 6.0), 1);
+  EXPECT_EQ(f.signals_at(12.0, 12.0), 3);
+  // More signals -> more negative drift at the same window.
+  EXPECT_LT(f.drift(12.0, 12.0).dx, f.drift(6.0, 6.0).dx);
+}
+
+}  // namespace
+}  // namespace rlacast::model

@@ -1,0 +1,71 @@
+// Monte-Carlo validation of the PA-window approximation (§4.1/§4.2): the
+// time average of the window walk is proportional to the PA prediction,
+// with a proportionality constant that is stable across loss rates and
+// receiver counts — exactly the property the paper's proofs rely on.
+#include <gtest/gtest.h>
+
+#include "model/window_walk.hpp"
+
+namespace rlacast::model {
+namespace {
+
+constexpr std::int64_t kSteps = 400000;
+
+TEST(WindowWalk, TcpTimeAverageProportionalToPa) {
+  // The ratio mean/PA should be a constant (~0.8-0.9) across loss rates.
+  double ratios[3];
+  int i = 0;
+  for (double p : {0.005, 0.01, 0.03}) {
+    const auto r = walk_tcp(p, kSteps, sim::Rng(1));
+    ratios[i++] = r.ratio;
+    EXPECT_GT(r.ratio, 0.7) << p;
+    EXPECT_LT(r.ratio, 1.1) << p;
+  }
+  EXPECT_NEAR(ratios[0], ratios[2], 0.08);  // stable constant
+}
+
+TEST(WindowWalk, TcpObservedCutProbMatchesP) {
+  const auto r = walk_tcp(0.02, kSteps, sim::Rng(2));
+  EXPECT_NEAR(r.observed_cut_prob, 0.02, 0.002);
+}
+
+TEST(WindowWalk, RlaIndependentMatchesItsPa) {
+  for (int n : {2, 9, 27}) {
+    const auto r = walk_rla_independent(0.02, n, kSteps, sim::Rng(3));
+    EXPECT_GT(r.ratio, 0.7) << n;
+    EXPECT_LT(r.ratio, 1.1) << n;
+  }
+}
+
+TEST(WindowWalk, RlaCommonMatchesItsPa) {
+  for (int n : {2, 9, 27}) {
+    const auto r = walk_rla_common(0.02, n, kSteps, sim::Rng(4));
+    EXPECT_GT(r.ratio, 0.7) << n;
+    EXPECT_LT(r.ratio, 1.15) << n;
+  }
+}
+
+TEST(WindowWalk, CorrelationLemmaHoldsInSimulation) {
+  // §4.2 Lemma at walk level: common losses give a larger mean window than
+  // independent losses of the same per-receiver probability.
+  const auto common = walk_rla_common(0.02, 9, kSteps, sim::Rng(5));
+  const auto indep = walk_rla_independent(0.02, 9, kSteps, sim::Rng(5));
+  EXPECT_GT(common.mean_window, indep.mean_window);
+}
+
+TEST(WindowWalk, RlaWalkWindowExceedsTcpAtSameSignalRate) {
+  // Listening to 1/n of the signals must produce a larger window than TCP
+  // obeying all of them.
+  const auto tcp = walk_tcp(0.02, kSteps, sim::Rng(6));
+  const auto rla = walk_rla_common(0.02, 9, kSteps, sim::Rng(6));
+  EXPECT_GT(rla.mean_window, tcp.mean_window);
+}
+
+TEST(WindowWalk, DeterministicForSeed) {
+  const auto a = walk_tcp(0.01, 100000, sim::Rng(9));
+  const auto b = walk_tcp(0.01, 100000, sim::Rng(9));
+  EXPECT_DOUBLE_EQ(a.mean_window, b.mean_window);
+}
+
+}  // namespace
+}  // namespace rlacast::model

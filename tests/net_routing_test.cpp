@@ -1,0 +1,182 @@
+// Routing and multicast forwarding tests: BFS shortest paths, tree grafting,
+// per-branch fan-out, and subscriber delivery at interior nodes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rlacast::net {
+namespace {
+
+class CountingAgent final : public Agent {
+ public:
+  void on_receive(const Packet& p) override {
+    ++count;
+    last = p;
+  }
+  int count = 0;
+  Packet last;
+};
+
+LinkConfig fast() {
+  LinkConfig c;
+  c.bandwidth_bps = 1e9;
+  c.delay = 0.001;
+  return c;
+}
+
+TEST(Routing, UnicastFollowsShortestPath) {
+  sim::Simulator sim;
+  Network net(sim);
+  // Line: 0 - 1 - 2, plus a long detour 0 - 3 - 4 - 2.
+  const NodeId n0 = net.add_node(), n1 = net.add_node(), n2 = net.add_node();
+  const NodeId n3 = net.add_node(), n4 = net.add_node();
+  net.connect(n0, n1, fast());
+  net.connect(n1, n2, fast());
+  net.connect(n0, n3, fast());
+  net.connect(n3, n4, fast());
+  net.connect(n4, n2, fast());
+  net.build_routes();
+
+  EXPECT_EQ(net.node(n0).route(n2)->to(), n1);  // 2 hops beats 3
+  EXPECT_EQ(net.node(n0).route(n4)->to(), n3);
+}
+
+TEST(Routing, DeliversToCorrectAgentPort) {
+  sim::Simulator sim;
+  Network net(sim);
+  const NodeId a = net.add_node(), b = net.add_node();
+  net.connect(a, b, fast());
+  net.build_routes();
+  CountingAgent p1, p2;
+  net.attach(b, 1, &p1);
+  net.attach(b, 2, &p2);
+
+  Packet pkt;
+  pkt.src = a;
+  pkt.dst = b;
+  pkt.dst_port = 2;
+  net.inject(pkt);
+  sim.run_all();
+  EXPECT_EQ(p1.count, 0);
+  EXPECT_EQ(p2.count, 1);
+}
+
+struct StarFixture {
+  sim::Simulator sim;
+  Network net{sim};
+  NodeId s, hub;
+  std::vector<NodeId> leaves;
+  std::vector<CountingAgent> sinks;
+
+  explicit StarFixture(int n) : sinks(static_cast<size_t>(n)) {
+    s = net.add_node();
+    hub = net.add_node();
+    net.connect(s, hub, fast());
+    for (int i = 0; i < n; ++i) {
+      leaves.push_back(net.add_node());
+      net.connect(hub, leaves.back(), fast());
+    }
+    net.build_routes();
+  }
+};
+
+TEST(Multicast, DeliversToAllGroupMembers) {
+  StarFixture f(5);
+  const GroupId g = 7;
+  for (int i = 0; i < 5; ++i) {
+    f.net.join_group(g, f.s, f.leaves[size_t(i)]);
+    f.net.subscribe(g, f.leaves[size_t(i)], &f.sinks[size_t(i)]);
+  }
+  Packet pkt;
+  pkt.src = f.s;
+  pkt.group = g;
+  pkt.seq = 3;
+  f.net.inject(pkt);
+  f.sim.run_all();
+  for (auto& sink : f.sinks) {
+    EXPECT_EQ(sink.count, 1);
+    EXPECT_EQ(sink.last.seq, 3);
+  }
+}
+
+TEST(Multicast, OnlyMembersReceive) {
+  StarFixture f(4);
+  const GroupId g = 7;
+  for (int i = 0; i < 2; ++i) {  // only leaves 0 and 1 join
+    f.net.join_group(g, f.s, f.leaves[size_t(i)]);
+    f.net.subscribe(g, f.leaves[size_t(i)], &f.sinks[size_t(i)]);
+  }
+  // Non-members still subscribe locally, but no tree branch reaches them,
+  // so nothing arrives.
+  for (int i = 2; i < 4; ++i)
+    f.net.subscribe(g, f.leaves[size_t(i)], &f.sinks[size_t(i)]);
+
+  Packet pkt;
+  pkt.src = f.s;
+  pkt.group = g;
+  f.net.inject(pkt);
+  f.sim.run_all();
+  EXPECT_EQ(f.sinks[0].count, 1);
+  EXPECT_EQ(f.sinks[1].count, 1);
+  EXPECT_EQ(f.sinks[2].count, 0);
+  EXPECT_EQ(f.sinks[3].count, 0);
+}
+
+TEST(Multicast, SharedTrunkCarriesOneCopy) {
+  StarFixture f(3);
+  const GroupId g = 1;
+  for (int i = 0; i < 3; ++i) {
+    f.net.join_group(g, f.s, f.leaves[size_t(i)]);
+    f.net.subscribe(g, f.leaves[size_t(i)], &f.sinks[size_t(i)]);
+  }
+  for (int k = 0; k < 10; ++k) {
+    Packet pkt;
+    pkt.src = f.s;
+    pkt.group = g;
+    pkt.seq = k;
+    f.net.inject(pkt);
+  }
+  f.sim.run_all();
+  // The trunk s->hub must carry exactly one copy per packet; the fan-out
+  // happens at the hub.
+  EXPECT_EQ(f.net.link_between(f.s, f.hub)->packets_delivered(), 10u);
+  EXPECT_EQ(f.net.link_between(f.hub, f.leaves[0])->packets_delivered(), 10u);
+}
+
+TEST(Multicast, InteriorSubscriberReceives) {
+  // A receiver at an interior gateway (the fig. 10 heterogeneous setup).
+  StarFixture f(2);
+  const GroupId g = 2;
+  CountingAgent interior;
+  f.net.join_group(g, f.s, f.leaves[0]);
+  f.net.subscribe(g, f.hub, &interior);  // hub is on the path
+  f.net.subscribe(g, f.leaves[0], &f.sinks[0]);
+
+  Packet pkt;
+  pkt.src = f.s;
+  pkt.group = g;
+  f.net.inject(pkt);
+  f.sim.run_all();
+  EXPECT_EQ(interior.count, 1);
+  EXPECT_EQ(f.sinks[0].count, 1);
+}
+
+TEST(Multicast, GraftingIsIdempotent) {
+  StarFixture f(2);
+  const GroupId g = 3;
+  f.net.join_group(g, f.s, f.leaves[0]);
+  f.net.join_group(g, f.s, f.leaves[0]);  // duplicate join
+  f.net.subscribe(g, f.leaves[0], &f.sinks[0]);
+  Packet pkt;
+  pkt.src = f.s;
+  pkt.group = g;
+  f.net.inject(pkt);
+  f.sim.run_all();
+  EXPECT_EQ(f.sinks[0].count, 1);  // not duplicated
+}
+
+}  // namespace
+}  // namespace rlacast::net

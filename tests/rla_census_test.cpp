@@ -1,0 +1,142 @@
+// TroubledCensus unit tests: the §3.3 rule-6 dynamics that determine
+// num_trouble_rcvr and hence pthresh.
+#include <gtest/gtest.h>
+
+#include "rla/troubled_census.hpp"
+
+namespace rlacast::rla {
+namespace {
+
+TEST(Census, EmptyHasNoTroubled) {
+  TroubledCensus c(20.0, 0.25);
+  c.add_receiver();
+  c.add_receiver();
+  EXPECT_EQ(c.recompute(10.0), 0);
+  EXPECT_LT(c.min_interval(10.0), 0.0);
+}
+
+TEST(Census, FirstSignalMakesReceiverTroubled) {
+  TroubledCensus c(20.0, 0.25);
+  const int i = c.add_receiver();
+  c.add_receiver();
+  c.on_signal(i, 5.0);
+  EXPECT_EQ(c.recompute(5.0), 1);
+  EXPECT_TRUE(c.troubled(i));
+}
+
+TEST(Census, SimilarRatesAllTroubled) {
+  TroubledCensus c(20.0, 0.25);
+  const int a = c.add_receiver();
+  const int b = c.add_receiver();
+  // Both signal every ~2 s.
+  for (int k = 1; k <= 10; ++k) {
+    c.on_signal(a, 2.0 * k);
+    c.on_signal(b, 2.0 * k + 0.5);
+  }
+  EXPECT_EQ(c.recompute(21.0), 2);
+}
+
+TEST(Census, RareSignalerIsNotTroubled) {
+  TroubledCensus c(20.0, 0.25);
+  const int busy = c.add_receiver();
+  const int quiet = c.add_receiver();
+  // busy: every 1 s; quiet: every 100 s (ratio 100 > eta = 20).
+  for (int k = 1; k <= 200; ++k) c.on_signal(busy, 1.0 * k);
+  c.on_signal(quiet, 50.0);
+  c.on_signal(quiet, 150.0);
+  c.recompute(200.0);
+  EXPECT_TRUE(c.troubled(busy));
+  EXPECT_FALSE(c.troubled(quiet));
+  EXPECT_EQ(c.num_troubled(), 1);
+}
+
+TEST(Census, BorderlineRatioUsesEta) {
+  // Interval ratio 10 < eta=20  -> troubled; with eta=5 it would not be.
+  TroubledCensus loose(20.0, 0.25);
+  TroubledCensus strict(5.0, 0.25);
+  for (auto* c : {&loose, &strict}) {
+    const int fast = c->add_receiver();
+    const int slow = c->add_receiver();
+    for (int k = 1; k <= 100; ++k) c->on_signal(fast, 1.0 * k);
+    for (int k = 1; k <= 10; ++k) c->on_signal(slow, 10.0 * k);
+    c->recompute(100.0);
+    EXPECT_TRUE(c->troubled(fast));
+  }
+  EXPECT_TRUE(loose.troubled(1));
+  EXPECT_FALSE(strict.troubled(1));
+}
+
+TEST(Census, QuietReceiverAgesOut) {
+  TroubledCensus c(20.0, 0.25);
+  const int a = c.add_receiver();
+  const int b = c.add_receiver();
+  for (int k = 1; k <= 20; ++k) {
+    c.on_signal(a, 1.0 * k);
+    c.on_signal(b, 1.0 * k + 0.3);
+  }
+  EXPECT_EQ(c.recompute(21.0), 2);
+  // b falls silent while a keeps signalling every second.
+  for (int k = 21; k <= 1000; ++k) c.on_signal(a, 1.0 * k);
+  c.recompute(1000.0);
+  EXPECT_TRUE(c.troubled(a));
+  EXPECT_FALSE(c.troubled(b));  // silent for ~980 s vs min interval 1 s
+}
+
+TEST(Census, ExcludedReceiverNeverTroubled) {
+  TroubledCensus c(20.0, 0.25);
+  const int a = c.add_receiver();
+  for (int k = 1; k <= 10; ++k) c.on_signal(a, 1.0 * k);
+  EXPECT_EQ(c.recompute(10.0), 1);
+  c.exclude(a);
+  EXPECT_EQ(c.num_troubled(), 0);
+  c.on_signal(a, 11.0);  // ignored
+  EXPECT_EQ(c.recompute(11.0), 0);
+  EXPECT_EQ(c.signals(a), 10u);
+}
+
+TEST(Census, SignalCountsPerReceiver) {
+  TroubledCensus c(20.0, 0.25);
+  const int a = c.add_receiver();
+  const int b = c.add_receiver();
+  for (int k = 1; k <= 7; ++k) c.on_signal(a, 1.0 * k);
+  for (int k = 1; k <= 3; ++k) c.on_signal(b, 2.0 * k);
+  EXPECT_EQ(c.signals(a), 7u);
+  EXPECT_EQ(c.signals(b), 3u);
+  EXPECT_EQ(c.total_signals(), 10u);
+}
+
+TEST(Census, MinIntervalTracksFastestSignaler) {
+  TroubledCensus c(20.0, 0.25);
+  const int a = c.add_receiver();
+  const int b = c.add_receiver();
+  for (int k = 1; k <= 50; ++k) c.on_signal(a, 0.5 * k);
+  for (int k = 1; k <= 5; ++k) c.on_signal(b, 5.0 * k);
+  EXPECT_NEAR(c.min_interval(25.0), 0.5, 0.1);
+}
+
+// Property: num_troubled is monotone in eta (a looser threshold can only
+// admit more receivers).
+class CensusEta : public ::testing::TestWithParam<double> {};
+
+TEST_P(CensusEta, TroubledCountGrowsWithEta) {
+  const double eta = GetParam();
+  TroubledCensus tight(eta, 0.25);
+  TroubledCensus loose(eta * 2.0, 0.25);
+  for (auto* c : {&tight, &loose}) {
+    for (int r = 0; r < 5; ++r) c->add_receiver();
+    // Receiver r signals with interval 2^r.
+    for (int r = 0; r < 5; ++r) {
+      const double interval = 1 << r;
+      for (double t = interval; t <= 64.0; t += interval)
+        c->on_signal(r, t);
+    }
+    c->recompute(64.5);
+  }
+  EXPECT_LE(tight.num_troubled(), loose.num_troubled());
+  EXPECT_GE(tight.num_troubled(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, CensusEta, ::testing::Values(2.0, 5.0, 10.0, 20.0));
+
+}  // namespace
+}  // namespace rlacast::rla

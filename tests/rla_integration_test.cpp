@@ -1,0 +1,137 @@
+// RLA integration tests on real bottleneck networks: the end-to-end claims
+// of the paper at test scale — essential fairness against TCP, scaling with
+// receiver count, and the superiority over the naive listener.
+#include <gtest/gtest.h>
+
+#include "model/formulas.hpp"
+#include "topo/flat_tree.hpp"
+
+namespace rlacast::rla {
+namespace {
+
+using topo::FlatBranch;
+using topo::FlatTreeConfig;
+using topo::GatewayType;
+using topo::run_flat_tree;
+
+FlatTreeConfig base_config(int n_branches, GatewayType gw) {
+  FlatTreeConfig cfg;
+  cfg.branches.assign(static_cast<std::size_t>(n_branches),
+                      FlatBranch{200.0, 1});
+  cfg.gateway = gw;
+  cfg.duration = 220.0;
+  cfg.warmup = 40.0;
+  return cfg;
+}
+
+TEST(RlaIntegration, AloneFillsBottleneck) {
+  FlatTreeConfig cfg = base_config(3, GatewayType::kDropTail);
+  for (auto& b : cfg.branches) b.n_tcp = 0;  // no competing TCP
+  const auto res = run_flat_tree(cfg);
+  // The multicast session alone should achieve high utilization of the
+  // per-branch 200 pkt/s bottleneck.
+  EXPECT_GT(res.rla.throughput_pps, 120.0);
+  EXPECT_LE(res.rla.throughput_pps, 205.0);
+}
+
+TEST(RlaIntegration, EssentiallyFairToTcpDropTail) {
+  const auto res = run_flat_tree(base_config(3, GatewayType::kDropTail));
+  const double wtcp = res.worst_tcp().throughput_pps;
+  ASSERT_GT(wtcp, 0.0);
+  const double ratio = res.rla.throughput_pps / wtcp;
+  const auto bounds = model::theorem2_droptail_bounds(3);
+  EXPECT_GT(ratio, bounds.lo);
+  EXPECT_LT(ratio, bounds.hi);
+}
+
+TEST(RlaIntegration, EssentiallyFairToTcpRed) {
+  const auto res = run_flat_tree(base_config(3, GatewayType::kRed));
+  const double wtcp = res.worst_tcp().throughput_pps;
+  ASSERT_GT(wtcp, 0.0);
+  const double ratio = res.rla.throughput_pps / wtcp;
+  const auto bounds = model::theorem1_red_bounds(3);
+  EXPECT_GT(ratio, bounds.lo);
+  EXPECT_LT(ratio, bounds.hi);
+}
+
+TEST(RlaIntegration, TcpNotShutOut) {
+  // Minimum requirement 1 of §2.1: TCP keeps a nontrivial share.
+  const auto res = run_flat_tree(base_config(5, GatewayType::kDropTail));
+  EXPECT_GT(res.worst_tcp().throughput_pps, 100.0 * 0.25);
+}
+
+TEST(RlaIntegration, ThroughputDoesNotCollapseWithReceiverCount) {
+  // Minimum requirement 2 of §2.1. Compare 2 vs 8 equally congested
+  // branches: the naive listener collapses, the RLA must not.
+  const auto small = run_flat_tree(base_config(2, GatewayType::kDropTail));
+  const auto large = run_flat_tree(base_config(8, GatewayType::kDropTail));
+  EXPECT_GT(large.rla.throughput_pps, 0.4 * small.rla.throughput_pps);
+  EXPECT_GT(large.rla.throughput_pps, 40.0);
+}
+
+TEST(RlaIntegration, BeatsNaiveListenerAtScale) {
+  FlatTreeConfig naive_cfg = base_config(8, GatewayType::kDropTail);
+  naive_cfg.rla.fixed_pthresh = 1.0;  // obey every congestion signal
+  const auto naive = run_flat_tree(naive_cfg);
+  const auto rla = run_flat_tree(base_config(8, GatewayType::kDropTail));
+  EXPECT_GT(rla.rla.throughput_pps, 1.3 * naive.rla.throughput_pps);
+}
+
+TEST(RlaIntegration, AllBranchesCongestedAllTroubled) {
+  const auto res = run_flat_tree(base_config(4, GatewayType::kDropTail));
+  EXPECT_EQ(res.num_troubled_final, 4);
+  for (auto s : res.rla_signals_per_receiver) EXPECT_GT(s, 0u);
+}
+
+TEST(RlaIntegration, WindowCutsAreFractionOfSignals) {
+  // With n troubled receivers the sender obeys ~1/n of the signals.
+  const auto res = run_flat_tree(base_config(6, GatewayType::kDropTail));
+  ASSERT_GT(res.rla.cong_signals, 50u);
+  const double obey_ratio =
+      static_cast<double>(res.rla.window_cuts) /
+      static_cast<double>(res.rla.cong_signals);
+  EXPECT_LT(obey_ratio, 0.55);
+  EXPECT_GT(obey_ratio, 1.0 / (6.0 * 3.0));
+}
+
+TEST(RlaIntegration, ForcedCutsRare) {
+  const auto res = run_flat_tree(base_config(4, GatewayType::kDropTail));
+  // The paper's tables report zero forced cuts in every case.
+  EXPECT_LE(res.rla.forced_cuts, res.rla.window_cuts / 5 + 1);
+}
+
+TEST(RlaIntegration, SharedBottleneckCorrelatedLossesBiggerWindow) {
+  // Lemma of §4.2 at system level: common losses (shared trunk bottleneck)
+  // yield a larger average RLA window than independent per-branch losses at
+  // comparable per-flow share.
+  FlatTreeConfig indep = base_config(4, GatewayType::kDropTail);
+  FlatTreeConfig common = base_config(4, GatewayType::kDropTail);
+  common.shared_bottleneck_pps = 4 * 200.0;  // same aggregate share
+  const auto res_i = run_flat_tree(indep);
+  const auto res_c = run_flat_tree(common);
+  EXPECT_GT(res_c.rla.avg_cwnd, res_i.rla.avg_cwnd * 0.9);
+}
+
+TEST(RlaIntegration, UnbalancedCongestionGivesRlaMoreThanWorstTcp) {
+  // §4.3: one very congested branch among mostly clean ones lets the RLA
+  // exceed the soft-bottleneck TCP share (by design), while remaining
+  // within the essential-fairness ceiling.
+  FlatTreeConfig cfg = base_config(5, GatewayType::kDropTail);
+  cfg.branches[0].mu_pps = 200.0;
+  for (std::size_t i = 1; i < 5; ++i) cfg.branches[i].mu_pps = 2000.0;
+  const auto res = run_flat_tree(cfg);
+  const double wtcp = res.worst_tcp().throughput_pps;
+  EXPECT_GT(res.rla.throughput_pps, wtcp);
+  EXPECT_LT(res.rla.throughput_pps,
+            model::theorem2_droptail_bounds(5).hi * wtcp);
+}
+
+TEST(RlaIntegration, DeterministicForSeed) {
+  const auto a = run_flat_tree(base_config(3, GatewayType::kDropTail));
+  const auto b = run_flat_tree(base_config(3, GatewayType::kDropTail));
+  EXPECT_DOUBLE_EQ(a.rla.throughput_pps, b.rla.throughput_pps);
+  EXPECT_EQ(a.rla.window_cuts, b.rla.window_cuts);
+}
+
+}  // namespace
+}  // namespace rlacast::rla

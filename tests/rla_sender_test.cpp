@@ -1,0 +1,375 @@
+// RLA sender behavioural tests with scripted receivers on a loss-free star
+// network: window dynamics, random-listening decisions, signal grouping,
+// retransmission policy, and the window bounds of §3.3.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "rla/rla_receiver.hpp"
+#include "rla/rla_sender.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/reassembly.hpp"
+
+namespace rlacast::rla {
+namespace {
+
+/// RLA receiver that swallows selected seqs on first (multicast, non-rexmit)
+/// delivery — injecting deterministic loss without queue dynamics.
+class LossyRlaReceiver final : public net::Agent {
+ public:
+  LossyRlaReceiver(net::Network& net, net::NodeId node, net::PortId port,
+                   net::GroupId group, net::NodeId sender_node,
+                   net::PortId sender_port, int id)
+      : net_(net),
+        node_(node),
+        port_(port),
+        sender_node_(sender_node),
+        sender_port_(sender_port),
+        id_(id) {
+    net_.attach(node_, port_, this);
+    net_.subscribe(group, node_, this);
+  }
+
+  void drop(net::SeqNum s) { blackhole_.insert(s); }
+  void drop_range(net::SeqNum lo, net::SeqNum hi) {
+    for (net::SeqNum s = lo; s < hi; ++s) blackhole_.insert(s);
+  }
+
+  const tcp::ReassemblyBuffer& buffer() const { return buf_; }
+  int rexmits_received = 0;
+
+  void on_receive(const net::Packet& p) override {
+    if (p.type != net::PacketType::kData) return;
+    if (p.is_rexmit) ++rexmits_received;
+    if (blackhole_.count(p.seq) && !p.is_rexmit) return;
+    buf_.add(p.seq);
+    net::Packet ack;
+    ack.type = net::PacketType::kAck;
+    ack.src = node_;
+    ack.dst = sender_node_;
+    ack.src_port = port_;
+    ack.dst_port = sender_port_;
+    ack.size_bytes = 40;
+    ack.ack = buf_.cum_ack();
+    ack.seq = p.seq;
+    ack.ts_echo = p.ts_echo;
+    ack.receiver_id = id_;
+    ack.n_sack = static_cast<std::uint8_t>(
+        buf_.sack_blocks(ack.sack.data(), net::kMaxSackBlocks));
+    net_.inject(ack);
+  }
+
+ private:
+  net::Network& net_;
+  net::NodeId node_;
+  net::PortId port_;
+  net::NodeId sender_node_;
+  net::PortId sender_port_;
+  int id_;
+  tcp::ReassemblyBuffer buf_;
+  std::set<net::SeqNum> blackhole_;
+};
+
+struct Star {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::NodeId s, hub;
+  std::vector<net::NodeId> leaves;
+  std::unique_ptr<RlaSender> snd;
+  std::vector<std::unique_ptr<LossyRlaReceiver>> rcvrs;
+
+  explicit Star(int n, RlaParams params = {}, std::uint64_t seed = 1)
+      : sim(seed) {
+    // The star's links are effectively infinite-capacity; cap the window so
+    // an uncontrolled slow start cannot explode the event count.
+    params.max_cwnd = std::min(params.max_cwnd, 256.0);
+    s = net.add_node();
+    hub = net.add_node();
+    net::LinkConfig fast;
+    fast.bandwidth_bps = 1e9;
+    fast.delay = 0.01;  // rtt = 40 ms (two hops each way)
+    fast.buffer_pkts = 100000;
+    net.connect(s, hub, fast);
+    const net::GroupId group = 1;
+    for (int i = 0; i < n; ++i) {
+      leaves.push_back(net.add_node());
+      net.connect(hub, leaves.back(), fast);
+    }
+    net.build_routes();
+    snd = std::make_unique<RlaSender>(net, s, 100, group, 500, params);
+    for (int i = 0; i < n; ++i) {
+      net.join_group(group, s, leaves[size_t(i)]);
+      const int idx = snd->add_receiver(leaves[size_t(i)], 2);
+      rcvrs.push_back(std::make_unique<LossyRlaReceiver>(
+          net, leaves[size_t(i)], 2, group, s, 100, idx));
+    }
+  }
+};
+
+TEST(RlaSender, DeliversToAllReceiversAndGrows) {
+  Star star(5);
+  star.snd->start_at(0.0);
+  star.sim.run_until(2.0);
+  EXPECT_GT(star.snd->max_reach_all(), 100);
+  // Receivers are at least as far along as the sender's all-ACKed point
+  // (ACKs still in flight explain any positive gap).
+  for (auto& r : star.rcvrs)
+    EXPECT_GE(r->buffer().cum_ack(), star.snd->max_reach_all());
+  EXPECT_GT(star.snd->cwnd(), star.snd->params().initial_cwnd);
+  EXPECT_EQ(star.snd->measurement().congestion_signals(), 0u);
+}
+
+TEST(RlaSender, SingleLossFromOneReceiverIsOneSignal) {
+  Star star(3);
+  star.rcvrs[0]->drop(50);
+  star.snd->start_at(0.0);
+  star.sim.run_until(3.0);
+  EXPECT_EQ(star.snd->signals_from(0), 1u);
+  EXPECT_EQ(star.snd->signals_from(1), 0u);
+  EXPECT_EQ(star.snd->measurement().congestion_signals(), 1u);
+  // Loss repaired; session kept moving.
+  EXPECT_GT(star.snd->max_reach_all(), 51);
+}
+
+TEST(RlaSender, FirstLossCutsBecauseSingleTroubledReceiver) {
+  // With one signalling receiver, num_trouble = 1 and pthresh = 1: the cut
+  // is certain (TCP-equivalent behaviour).
+  Star star(3);
+  star.rcvrs[1]->drop(40);
+  star.snd->start_at(0.0);
+  star.sim.run_until(3.0);
+  EXPECT_EQ(star.snd->measurement().window_cuts(), 1u);
+}
+
+TEST(RlaSender, CloseLossesGroupIntoOneSignal) {
+  // Losses within 2*srtt of the congestion-period start are one signal.
+  Star star(2);
+  star.rcvrs[0]->drop(40);
+  star.rcvrs[0]->drop(41);
+  star.rcvrs[0]->drop(43);
+  star.snd->start_at(0.0);
+  star.sim.run_until(3.0);
+  EXPECT_EQ(star.snd->signals_from(0), 1u);
+}
+
+TEST(RlaSender, SeparatedLossesAreSeparateSignals) {
+  Star star(2);
+  star.rcvrs[0]->drop(50);
+  star.rcvrs[0]->drop(800);  // several RTTs later at these rates
+  star.snd->start_at(0.0);
+  star.sim.run_until(6.0);
+  EXPECT_EQ(star.snd->signals_from(0), 2u);
+}
+
+TEST(RlaSender, PthreshIsOneOverTroubledCount) {
+  Star star(4);
+  // Make receivers 0..2 signal repeatedly at similar rates.
+  for (int r = 0; r < 3; ++r)
+    for (net::SeqNum s = 100 + r; s < 3000; s += 200)
+      star.rcvrs[size_t(r)]->drop(s);
+  star.snd->start_at(0.0);
+  star.sim.run_until(20.0);
+  EXPECT_EQ(star.snd->num_trouble_rcvr(), 3);
+  EXPECT_NEAR(star.snd->pthresh_for(0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(RlaSender, FixedPthreshOverrides) {
+  RlaParams p;
+  p.fixed_pthresh = 1.0;
+  Star star(3, p);
+  star.rcvrs[0]->drop(40);
+  star.rcvrs[2]->drop(60);
+  star.snd->start_at(0.0);
+  star.sim.run_until(4.0);
+  // Naive listener: every signal cuts.
+  EXPECT_EQ(star.snd->measurement().window_cuts(),
+            star.snd->measurement().congestion_signals());
+  EXPECT_GE(star.snd->measurement().window_cuts(), 2u);
+}
+
+TEST(RlaSender, ForcedCutFiresWhenRandomizedCutsNeverHappen) {
+  RlaParams p;
+  p.fixed_pthresh = 0.0;  // randomized-cut never fires -> only forced-cuts
+  Star star(2, p);
+  for (net::SeqNum s = 50; s < 5000; s += 100) star.rcvrs[0]->drop(s);
+  star.snd->start_at(0.0);
+  star.sim.run_until(30.0);
+  EXPECT_GT(star.snd->measurement().forced_cuts(), 0u);
+  EXPECT_EQ(star.snd->measurement().window_cuts(),
+            star.snd->measurement().forced_cuts());
+}
+
+TEST(RlaSender, MulticastRexmitWhenManyMiss) {
+  RlaParams p;
+  p.rexmit_thresh = 0;  // any loss -> multicast repair
+  Star star(4, p);
+  for (auto& r : star.rcvrs) r->drop(30);  // everyone misses 30
+  star.snd->start_at(0.0);
+  star.sim.run_until(3.0);
+  EXPECT_GE(star.snd->multicast_rexmits(), 1u);
+  EXPECT_EQ(star.snd->unicast_rexmits(), 0u);
+  EXPECT_GT(star.snd->max_reach_all(), 31);
+}
+
+TEST(RlaSender, UnicastRexmitWhenFewMissAndThresholdHigh) {
+  RlaParams p;
+  p.rexmit_thresh = 2;  // need >2 requesters for multicast
+  Star star(4, p);
+  star.rcvrs[1]->drop(30);  // single receiver misses
+  star.snd->start_at(0.0);
+  star.sim.run_until(3.0);
+  EXPECT_EQ(star.snd->multicast_rexmits(), 0u);
+  EXPECT_GE(star.snd->unicast_rexmits(), 1u);
+  // Only the requester got the repair.
+  EXPECT_GE(star.rcvrs[1]->rexmits_received, 1);
+  EXPECT_EQ(star.rcvrs[0]->rexmits_received, 0);
+}
+
+TEST(RlaSender, ReceiverBufferBoundsLeadingEdge) {
+  RlaParams p;
+  p.receiver_buffer = 50;
+  Star star(2, p);
+  // Receiver 0 permanently misses packet 20 (drop rexmits too by dropping a
+  // wide range: rexmits bypass the blackhole, so instead keep re-dropping).
+  star.rcvrs[0]->drop(20);
+  star.snd->start_at(0.0);
+  star.sim.run_until(0.5);  // before the repair lands, window may race ahead
+  EXPECT_LE(star.snd->next_seq(), star.snd->min_last_ack() + 50);
+}
+
+TEST(RlaSender, SlowReceiverDropOption) {
+  RlaParams p;
+  p.enable_slow_receiver_drop = true;
+  p.slow_drop_fraction = 0.8;
+  p.slow_drop_min_signals = 10;
+  Star star(3, p);
+  // Receiver 2 is pathologically congested; others clean.
+  for (net::SeqNum s = 20; s < 100000; s += 60) star.rcvrs[2]->drop(s);
+  star.snd->start_at(0.0);
+  star.sim.run_until(60.0);
+  EXPECT_TRUE(star.snd->receiver_dropped(2));
+  // Once dropped, the session no longer waits for receiver 2.
+  EXPECT_GT(star.snd->max_reach_all(),
+            static_cast<net::SeqNum>(
+                star.rcvrs[2]->buffer().cum_ack()));
+}
+
+TEST(RlaSender, RecoversWhenVeryFirstPacketIsLost) {
+  // Regression: packet 0 lost before any ACK ever arrived used to deadlock
+  // the session (the retransmission timer raced next_seq_). The timeout
+  // path must repair it and the session must proceed.
+  Star star(3);
+  star.rcvrs[1]->drop(0);
+  star.snd->start_at(0.0);
+  star.sim.run_until(10.0);
+  EXPECT_GT(star.snd->max_reach_all(), 100);
+  EXPECT_GE(star.snd->measurement().timeouts() +
+                star.snd->multicast_rexmits(),
+            1u);
+}
+
+/// Receiver that swallows a seq on first delivery AND on its first repair:
+/// exercises the lost-retransmission path.
+TEST(RlaSender, RecoversWhenRetransmissionIsAlsoLost) {
+  // LossyRlaReceiver passes rexmits through, so emulate a lost repair by
+  // dropping the packet at two receivers where one repair (multicast)
+  // covers both — then drop the repair for one of them via a second
+  // blackhole entry keyed on the rexmit flag. Simplest equivalent: a
+  // custom acceptance rule.
+  class DoubleLossReceiver final : public net::Agent {
+   public:
+    DoubleLossReceiver(net::Network& net, net::NodeId node, net::PortId port,
+                       net::GroupId group, net::NodeId sn, net::PortId sp,
+                       int id)
+        : net_(net), node_(node), port_(port), sn_(sn), sp_(sp), id_(id) {
+      net_.attach(node_, port_, this);
+      net_.subscribe(group, node_, this);
+    }
+    void on_receive(const net::Packet& p) override {
+      if (p.type != net::PacketType::kData) return;
+      if (p.seq == 50 && drops_left_ > 0) {
+        --drops_left_;  // swallow original AND first repair
+        return;
+      }
+      buf_.add(p.seq);
+      net::Packet ack;
+      ack.type = net::PacketType::kAck;
+      ack.src = node_;
+      ack.dst = sn_;
+      ack.src_port = port_;
+      ack.dst_port = sp_;
+      ack.size_bytes = 40;
+      ack.ack = buf_.cum_ack();
+      ack.seq = p.seq;
+      ack.ts_echo = p.ts_echo;
+      ack.receiver_id = id_;
+      ack.n_sack = static_cast<std::uint8_t>(
+          buf_.sack_blocks(ack.sack.data(), net::kMaxSackBlocks));
+      net_.inject(ack);
+    }
+    tcp::ReassemblyBuffer buf_;
+
+   private:
+    net::Network& net_;
+    net::NodeId node_;
+    net::PortId port_;
+    net::NodeId sn_;
+    net::PortId sp_;
+    int id_;
+    int drops_left_ = 2;
+  };
+
+  Star star(2);  // receiver state 2 added manually below
+  const int idx = star.snd->add_receiver(star.leaves[0], 7);
+  DoubleLossReceiver dbl(star.net, star.leaves[0], 7, 1, star.s, 100, idx);
+  star.snd->start_at(0.0);
+  star.sim.run_until(15.0);
+  // Despite losing seq 50 twice at one receiver, the session recovered.
+  EXPECT_GT(star.snd->max_reach_all(), 60);
+  EXPECT_TRUE(dbl.buf_.has(50));
+}
+
+TEST(RlaSender, AckCounterTracksReceipt) {
+  Star star(2);
+  star.snd->start_at(0.0);
+  star.sim.run_until(1.0);
+  // Two receivers ACK every delivered packet.
+  EXPECT_GE(star.snd->acks_received(),
+            static_cast<std::uint64_t>(star.snd->max_reach_all()) * 2);
+}
+
+TEST(RlaSender, SendQuantumReleasesInBursts) {
+  RlaParams p;
+  p.send_quantum = 8;
+  p.max_burst = 16;
+  Star star(2, p);
+  star.snd->start_at(0.0);
+  star.sim.run_until(5.0);
+  // Still makes progress (quantum capped by cwnd/2 at small windows).
+  EXPECT_GT(star.snd->max_reach_all(), 100);
+}
+
+TEST(RlaSender, CwndTimeAverageTracked) {
+  Star star(2);
+  star.snd->start_at(0.0);
+  star.snd->measurement().begin_measurement(0.0);
+  star.sim.run_until(1.0);
+  EXPECT_GT(star.snd->measurement().avg_cwnd(1.0), 1.0);
+}
+
+TEST(RlaSender, RttSampleMatchesPath) {
+  Star star(2);
+  star.snd->start_at(0.0);
+  star.snd->measurement().begin_measurement(0.0);
+  star.sim.run_until(2.0);
+  // Star RTT = 40 ms; reach-all RTT is the max over branches, equal here.
+  EXPECT_NEAR(star.snd->measurement().avg_rtt(), 0.04, 0.01);
+  EXPECT_NEAR(star.snd->srtt_of(0), 0.04, 0.01);
+}
+
+}  // namespace
+}  // namespace rlacast::rla

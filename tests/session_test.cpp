@@ -1,0 +1,198 @@
+// Tests for the RlaSession convenience wrapper and the TcpReceiver
+// delayed-ACK option.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "rla/rla_session.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace rlacast {
+namespace {
+
+struct StarNet {
+  sim::Simulator sim{1};
+  net::Network net{sim};
+  net::NodeId s, hub;
+  std::vector<net::NodeId> leaves;
+
+  explicit StarNet(int n, double leaf_pps = 0.0) {
+    s = net.add_node();
+    hub = net.add_node();
+    net::LinkConfig fast;
+    fast.bandwidth_bps = 1e9;
+    fast.delay = 0.01;
+    net.connect(s, hub, fast);
+    for (int i = 0; i < n; ++i) {
+      leaves.push_back(net.add_node());
+      net::LinkConfig leg = fast;
+      if (leaf_pps > 0) leg.bandwidth_bps = leaf_pps * 8000.0;
+      net.connect(hub, leaves.back(), leg);
+    }
+    net.build_routes();
+  }
+};
+
+TEST(RlaSession, WiresCompleteSession) {
+  StarNet star(4);
+  rla::RlaParams p;
+  p.max_cwnd = 128;
+  rla::RlaSession session(star.net, star.s, /*group=*/1, p);
+  for (const auto leaf : star.leaves) session.add_receiver(leaf);
+  EXPECT_EQ(session.receiver_count(), 4u);
+  session.start_at(0.0);
+  star.sim.run_until(2.0);
+  EXPECT_GT(session.sender().max_reach_all(), 100);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_GT(session.receiver(i).data_packets_received(), 100u);
+}
+
+TEST(RlaSession, TwoSessionsCoexistOnSharedNodes) {
+  StarNet star(3, 400.0);
+  rla::RlaSession a(star.net, star.s, 1);
+  rla::RlaSession b(star.net, star.s, 2);
+  for (const auto leaf : star.leaves) {
+    a.add_receiver(leaf);
+    b.add_receiver(leaf);
+  }
+  a.start_at(0.0);
+  b.start_at(0.2);
+  star.sim.run_until(30.0);
+  EXPECT_GT(a.sender().max_reach_all(), 500);
+  EXPECT_GT(b.sender().max_reach_all(), 500);
+  // Shared 400 pkt/s branches: the two sessions split the capacity.
+  const double total =
+      static_cast<double>(a.sender().max_reach_all() +
+                          b.sender().max_reach_all()) /
+      30.0;
+  EXPECT_LT(total, 420.0);
+  EXPECT_GT(total, 250.0);
+}
+
+TEST(RlaSession, LateJoinerResumesMidStream) {
+  StarNet star(3, 400.0);
+  rla::RlaSession session(star.net, star.s, 1);
+  session.add_receiver(star.leaves[0]);
+  session.add_receiver(star.leaves[1]);
+  session.start_at(0.0);
+  star.sim.run_until(10.0);
+  const net::SeqNum frontier = session.sender().next_seq();
+  ASSERT_GT(frontier, 500);
+
+  // Third receiver joins mid-session.
+  const int idx = session.add_receiver(star.leaves[2]);
+  star.sim.run_until(20.0);
+
+  // The session kept moving (the joiner did not stall it waiting for
+  // history it never saw)...
+  EXPECT_GT(session.sender().max_reach_all(), frontier + 100);
+  // ...and the joiner is receiving the live stream from its join point.
+  EXPECT_GT(session.receiver(idx).data_packets_received(), 100u);
+  EXPECT_GE(session.receiver(idx).buffer().cum_ack(), frontier);
+}
+
+TEST(RlaSession, LeaverStopsGatingTheWindow) {
+  // Receiver 2 sits behind a crippled branch; after it leaves, the session
+  // accelerates to the healthy branches' pace.
+  StarNet star(3);
+  // Rebuild leaf 2's leg as slow: easiest is a fresh topology.
+  sim::Simulator sim(2);
+  net::Network net(sim);
+  const auto s = net.add_node(), hub = net.add_node();
+  net::LinkConfig fast;
+  fast.bandwidth_bps = 1e9;
+  fast.delay = 0.01;
+  net.connect(s, hub, fast);
+  std::vector<net::NodeId> leaves;
+  for (int i = 0; i < 3; ++i) {
+    leaves.push_back(net.add_node());
+    net::LinkConfig leg = fast;
+    if (i == 2) leg.bandwidth_bps = 50 * 8000.0;  // 50 pkt/s straggler
+    leg.buffer_pkts = 20;
+    net.connect(hub, leaves.back(), leg);
+  }
+  net.build_routes();
+  rla::RlaParams params;
+  params.max_cwnd = 256;
+  rla::RlaSession session(net, s, 1, params);
+  for (const auto leaf : leaves) session.add_receiver(leaf);
+  session.start_at(0.0);
+  sim.run_until(30.0);
+  const double paced_rate =
+      static_cast<double>(session.sender().max_reach_all()) / 30.0;
+  EXPECT_LT(paced_rate, 80.0);  // straggler-bound
+
+  session.remove_receiver(2);
+  const net::SeqNum before = session.sender().max_reach_all();
+  sim.run_until(40.0);
+  const double free_rate =
+      static_cast<double>(session.sender().max_reach_all() - before) / 10.0;
+  EXPECT_GT(free_rate, 3.0 * paced_rate);  // unshackled
+}
+
+TEST(DelayedAck, HalvesAckTrafficOnCleanPath) {
+  // Two identical TCP transfers, one with delayed ACKs: roughly half the
+  // ACK packets for the same data progress; throughput unharmed.
+  auto run = [](bool delack) {
+    sim::Simulator sim(3);
+    net::Network net(sim);
+    const auto s = net.add_node(), r = net.add_node();
+    net::LinkConfig link;
+    link.bandwidth_bps = 400 * 8000.0;
+    link.delay = 0.02;
+    net.connect(s, r, link);
+    net.build_routes();
+    tcp::TcpReceiver rcv(net, r, 1);
+    rcv.set_delayed_ack(delack);
+    tcp::TcpParams p;
+    p.max_cwnd = 64;
+    tcp::TcpSender snd(net, s, 1, r, 1, 1, p);
+    snd.start_at(0.0);
+    sim.run_until(30.0);
+    const auto* reverse = net.link_between(r, s);
+    return std::pair<double, std::uint64_t>(
+        static_cast<double>(snd.una()) / 30.0,
+        reverse->packets_delivered());
+  };
+  const auto [thr_plain, acks_plain] = run(false);
+  const auto [thr_delack, acks_delack] = run(true);
+  EXPECT_GT(thr_delack, 0.85 * thr_plain);  // progress preserved
+  EXPECT_LT(static_cast<double>(acks_delack),
+            0.65 * static_cast<double>(acks_plain));  // ~half the ACKs
+}
+
+TEST(DelayedAck, LossStillDetectedPromptly) {
+  // Delayed ACKs must not defeat fast retransmit: out-of-order arrivals
+  // are ACKed immediately.
+  sim::Simulator sim(5);
+  net::Network net(sim);
+  const auto s = net.add_node(), g = net.add_node(), r = net.add_node();
+  net::LinkConfig bttl;
+  bttl.bandwidth_bps = 150 * 8000.0;
+  bttl.delay = 0.02;
+  bttl.buffer_pkts = 10;  // small buffer: genuine losses
+  net.connect(s, g, bttl);
+  net::LinkConfig fast;
+  fast.bandwidth_bps = 1e9;
+  fast.delay = 0.02;
+  net.connect(g, r, fast);
+  net.build_routes();
+  tcp::TcpReceiver rcv(net, r, 1);
+  rcv.set_delayed_ack(true);
+  tcp::TcpSender snd(net, s, 1, r, 1, 1, tcp::TcpParams{});
+  snd.start_at(0.0);
+  sim.at(10.0, [&] { snd.measurement().begin_measurement(sim.now()); });
+  sim.run_until(60.0);
+  ASSERT_GT(snd.measurement().window_cuts(), 3u);
+  // Most loss episodes recovered via SACK, not timeout.
+  EXPECT_LT(snd.measurement().timeouts(),
+            snd.measurement().window_cuts() / 2 + 2);
+  EXPECT_GT(snd.measurement().throughput_pps(60.0), 100.0);
+}
+
+}  // namespace
+}  // namespace rlacast

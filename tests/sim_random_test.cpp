@@ -1,0 +1,96 @@
+// Tests for the deterministic random streams: reproducibility, stream
+// independence, and distribution sanity (uniformity moments).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace rlacast::sim {
+namespace {
+
+TEST(SeedSequence, SameNameSameSeed) {
+  SeedSequence a(42), b(42);
+  EXPECT_EQ(a.seed_for("red-queue-0"), b.seed_for("red-queue-0"));
+}
+
+TEST(SeedSequence, DifferentNamesDifferentSeeds) {
+  SeedSequence s(42);
+  EXPECT_NE(s.seed_for("red-queue-0"), s.seed_for("red-queue-1"));
+  EXPECT_NE(s.seed_for("a"), s.seed_for("b"));
+}
+
+TEST(SeedSequence, DifferentMasterDifferentSeeds) {
+  SeedSequence a(1), b(2);
+  EXPECT_NE(a.seed_for("x"), b.seed_for("x"));
+}
+
+TEST(Rng, ReproducibleSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatch) {
+  Rng r(99);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_NEAR(sum2 / n - (sum / n) * (sum / n), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 3.5);
+    ASSERT_GE(u, 2.0);
+    ASSERT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ChanceFrequencyMatches) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(17);
+  bool seen_lo = false, seen_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    seen_lo |= v == 0;
+    seen_hi |= v == 5;
+  }
+  EXPECT_TRUE(seen_lo);
+  EXPECT_TRUE(seen_hi);
+}
+
+}  // namespace
+}  // namespace rlacast::sim

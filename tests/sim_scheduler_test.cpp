@@ -1,0 +1,168 @@
+// Unit tests for the discrete-event scheduler: ordering, determinism,
+// cancellation, and clock semantics — the invariants everything else in the
+// simulator relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace rlacast::sim {
+namespace {
+
+TEST(Scheduler, DispatchesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Scheduler, SimultaneousEventsAreFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelPreventsDispatch) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_at(1.0, [&] { fired = true; });
+  s.cancel(id);
+  s.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, CancelAfterFireIsHarmless) {
+  Scheduler s;
+  int count = 0;
+  const EventId id = s.schedule_at(1.0, [&] { ++count; });
+  s.schedule_at(2.0, [&] { ++count; });
+  s.run_one();
+  s.cancel(id);  // already fired; must not corrupt accounting
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, DoubleCancelIsHarmless) {
+  Scheduler s;
+  const EventId id = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  s.cancel(id);
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(5.0, [&] { ++fired; });
+  s.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, EventAtHorizonIsDispatched) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(2.0, [&] { fired = true; });
+  s.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, ReentrantSchedulingFromCallback) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] {
+    order.push_back(1);
+    s.schedule_at(1.5, [&] { order.push_back(2); });
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, ChainOfEventsAdvancesClock) {
+  Scheduler s;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 100) s.schedule_at(s.now() + 0.5, hop);
+  };
+  s.schedule_at(0.5, hop);
+  s.run_all();
+  EXPECT_EQ(hops, 100);
+  EXPECT_DOUBLE_EQ(s.now(), 50.0);
+  EXPECT_EQ(s.dispatched(), 100u);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  double t1 = -1, t2 = -1;
+  sim.after(1.0, [&] {
+    t1 = sim.now();
+    sim.after(2.0, [&] { t2 = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 3.0);
+}
+
+TEST(Timer, ScheduleFireAndReschedule) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.schedule(1.0);
+  EXPECT_TRUE(t.armed());
+  t.schedule(2.0);  // reschedule replaces the first
+  sim.run_all();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Timer, CancelPreventsFire) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.schedule(1.0);
+  t.cancel();
+  sim.run_all();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, DestructionCancelsPendingEvent) {
+  Simulator sim;
+  int fires = 0;
+  {
+    Timer t(sim, [&] { ++fires; });
+    t.schedule(1.0);
+  }
+  sim.run_all();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, RearmFromCallbackMakesPeriodicTimer) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] {});
+  Timer periodic(sim, [&] {
+    if (++fires < 5) periodic.schedule(1.0);
+  });
+  periodic.schedule(1.0);
+  sim.run_all();
+  EXPECT_EQ(fires, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+}  // namespace
+}  // namespace rlacast::sim

@@ -1,0 +1,163 @@
+// Tests for the statistics substrate: EWMA, time-weighted means, summaries,
+// 2-D histograms, table formatting, flow measurement warm-up semantics.
+#include <gtest/gtest.h>
+
+#include "stats/ewma.hpp"
+#include "stats/flow_measurement.hpp"
+#include "stats/histogram2d.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "stats/time_weighted.hpp"
+
+namespace rlacast::stats {
+namespace {
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.initialized());
+  e.add(5.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.25);
+  for (int i = 0; i < 100; ++i) e.add(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+TEST(Ewma, GainControlsAdaptationSpeed) {
+  Ewma fast(0.5), slow(0.01);
+  fast.add(0.0);
+  slow.add(0.0);
+  for (int i = 0; i < 10; ++i) {
+    fast.add(10.0);
+    slow.add(10.0);
+  }
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, ResetClearsState) {
+  Ewma e(0.5);
+  e.add(4.0);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+  EXPECT_EQ(e.count(), 0u);
+}
+
+TEST(TimeWeightedMean, ConstantSignal) {
+  TimeWeightedMean m;
+  m.start(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(m.mean(10.0), 7.0);
+}
+
+TEST(TimeWeightedMean, StepSignalWeighting) {
+  TimeWeightedMean m;
+  m.start(0.0, 0.0);
+  m.update(5.0, 10.0);  // 0 for 5s, then 10 for 5s
+  EXPECT_DOUBLE_EQ(m.mean(10.0), 5.0);
+}
+
+TEST(TimeWeightedMean, UnevenHolding) {
+  TimeWeightedMean m;
+  m.start(0.0, 2.0);
+  m.update(1.0, 4.0);  // 2 for 1s, 4 for 3s
+  EXPECT_DOUBLE_EQ(m.mean(4.0), (2.0 * 1 + 4.0 * 3) / 4.0);
+}
+
+TEST(TimeWeightedMean, ResetDiscardsHistory) {
+  TimeWeightedMean m;
+  m.start(0.0, 100.0);
+  m.update(10.0, 2.0);
+  m.reset_at(10.0);  // discard the 100-valued epoch
+  EXPECT_DOUBLE_EQ(m.mean(20.0), 2.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram2D, MassConservedAndClamped) {
+  Histogram2D h(10.0, 10.0, 10, 10);
+  h.add(5.0, 5.0);
+  h.add(100.0, -3.0);  // clamped to edge bins
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+  EXPECT_DOUBLE_EQ(h.at(9, 0), 1.0);
+}
+
+TEST(Histogram2D, ModeFindsPeak) {
+  Histogram2D h(10.0, 10.0, 10, 10);
+  for (int i = 0; i < 5; ++i) h.add(2.5, 7.5);
+  h.add(9.0, 1.0);
+  const auto [mx, my] = h.mode();
+  EXPECT_NEAR(mx, 2.5, 0.51);
+  EXPECT_NEAR(my, 7.5, 0.51);
+}
+
+TEST(Histogram2D, MarginalMeans) {
+  Histogram2D h(10.0, 10.0, 100, 100);
+  h.add(2.0, 8.0);
+  h.add(4.0, 6.0);
+  EXPECT_NEAR(h.mean_x(), 3.0, 0.1);
+  EXPECT_NEAR(h.mean_y(), 7.0, 0.1);
+}
+
+TEST(Histogram2D, MassNearCapturesNeighborhood) {
+  Histogram2D h(10.0, 10.0, 100, 100);
+  for (int i = 0; i < 99; ++i) h.add(5.0, 5.0);
+  h.add(0.5, 9.5);
+  EXPECT_NEAR(h.mass_near(5.0, 5.0, 1.0), 0.99, 1e-9);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", Table::num(1.25, 2)});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+}
+
+TEST(FlowMeasurement, WarmupCutsCounters) {
+  FlowMeasurement m;
+  m.note_cwnd(0.0, 10.0);
+  m.note_acked(500);
+  m.note_window_cut();
+  m.begin_measurement(100.0);
+  m.note_acked(300);
+  EXPECT_DOUBLE_EQ(m.throughput_pps(200.0), 3.0);
+  EXPECT_EQ(m.window_cuts(), 0u);
+  m.note_window_cut();
+  EXPECT_EQ(m.window_cuts(), 1u);
+}
+
+TEST(FlowMeasurement, RttSamplesOnlyDuringMeasurement) {
+  FlowMeasurement m;
+  m.note_rtt(1.0, 0.5);  // before begin_measurement: dropped
+  m.begin_measurement(10.0);
+  m.note_rtt(11.0, 0.25);
+  EXPECT_DOUBLE_EQ(m.avg_rtt(), 0.25);
+  EXPECT_EQ(m.rtt_summary().count(), 1u);
+}
+
+TEST(FlowMeasurement, CwndAverageRestartsAtWarmup) {
+  FlowMeasurement m;
+  m.note_cwnd(0.0, 100.0);
+  m.begin_measurement(10.0);
+  m.note_cwnd(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.avg_cwnd(20.0), 2.0);
+}
+
+}  // namespace
+}  // namespace rlacast::stats

@@ -1,0 +1,168 @@
+// TCP integration tests on real bottleneck links: utilization, fairness
+// between equal-RTT competitors, and consistency with the analytic window
+// formula the paper's proofs build on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "model/formulas.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace rlacast::tcp {
+namespace {
+
+struct Dumbbell {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net::NodeId s, g, r;
+  std::vector<std::unique_ptr<TcpSender>> senders;
+  std::vector<std::unique_ptr<TcpReceiver>> receivers;
+  net::Link* bottleneck = nullptr;
+
+  Dumbbell(int n_flows, double bottleneck_pps, net::QueueKind kind,
+           std::uint64_t seed = 1, std::size_t buffer = 20)
+      : sim(seed) {
+    s = net.add_node();
+    g = net.add_node();
+    r = net.add_node();
+    net::LinkConfig bttl;
+    bttl.bandwidth_bps = bottleneck_pps * 8000.0;  // 1000-byte packets
+    bttl.delay = 0.01;
+    bttl.queue = kind;
+    bttl.buffer_pkts = buffer;
+    net.connect(s, g, bttl);
+    net::LinkConfig fast;
+    fast.bandwidth_bps = 1e9;
+    fast.delay = 0.04;
+    net.connect(g, r, fast);
+    net.build_routes();
+    bottleneck = net.link_between(s, g);
+
+    TcpParams params;
+    params.max_send_overhead =
+        kind == net::QueueKind::kDropTail ? 8000.0 / bttl.bandwidth_bps : 0.0;
+    auto starts = sim.rng_stream("starts");
+    for (int i = 0; i < n_flows; ++i) {
+      const net::PortId port = 10 + i;
+      receivers.push_back(std::make_unique<TcpReceiver>(net, r, port));
+      senders.push_back(std::make_unique<TcpSender>(net, s, port, r, port,
+                                                    i + 1, params));
+      senders.back()->start_at(starts.uniform(0.0, 1.0));
+    }
+  }
+
+  void run(double warmup, double duration) {
+    sim.at(warmup, [&] {
+      for (auto& snd : senders)
+        snd->measurement().begin_measurement(sim.now());
+    });
+    sim.run_until(duration);
+  }
+};
+
+TEST(TcpIntegration, SingleFlowFillsBottleneck) {
+  Dumbbell d(1, 200.0, net::QueueKind::kDropTail);
+  d.run(20.0, 120.0);
+  const double thr = d.senders[0]->measurement().throughput_pps(120.0);
+  EXPECT_GT(thr, 170.0);   // > 85% utilization
+  EXPECT_LE(thr, 201.0);   // cannot beat capacity
+}
+
+TEST(TcpIntegration, SingleFlowFillsRedBottleneck) {
+  Dumbbell d(1, 200.0, net::QueueKind::kRed);
+  d.run(20.0, 120.0);
+  const double thr = d.senders[0]->measurement().throughput_pps(120.0);
+  EXPECT_GT(thr, 150.0);  // RED sheds a little more than drop-tail
+  EXPECT_LE(thr, 201.0);
+}
+
+TEST(TcpIntegration, EqualRttFlowsShareFairlyDropTail) {
+  Dumbbell d(4, 400.0, net::QueueKind::kDropTail);
+  d.run(30.0, 330.0);
+  std::vector<double> thr;
+  for (auto& s : d.senders)
+    thr.push_back(s->measurement().throughput_pps(330.0));
+  const double worst = *std::min_element(thr.begin(), thr.end());
+  const double best = *std::max_element(thr.begin(), thr.end());
+  EXPECT_GT(worst, 0.0);
+  EXPECT_LT(best / worst, 2.0);  // no starvation, rough equality
+}
+
+TEST(TcpIntegration, EqualRttFlowsShareFairlyRed) {
+  Dumbbell d(4, 400.0, net::QueueKind::kRed);
+  d.run(30.0, 330.0);
+  std::vector<double> thr;
+  for (auto& s : d.senders)
+    thr.push_back(s->measurement().throughput_pps(330.0));
+  const double worst = *std::min_element(thr.begin(), thr.end());
+  const double best = *std::max_element(thr.begin(), thr.end());
+  EXPECT_LT(best / worst, 1.8);  // RED is tighter than drop-tail
+}
+
+TEST(TcpIntegration, AggregateMatchesCapacity) {
+  Dumbbell d(4, 400.0, net::QueueKind::kDropTail);
+  d.run(30.0, 230.0);
+  double total = 0.0;
+  for (auto& s : d.senders) total += s->measurement().throughput_pps(230.0);
+  EXPECT_GT(total, 340.0);
+  EXPECT_LE(total, 404.0);
+}
+
+TEST(TcpIntegration, WindowFollowsPaFormula) {
+  // Under RED, every connection sees the same loss probability p; eq. (1)
+  // predicts the average window ~ sqrt(2(1-p)/p) up to a modest constant.
+  Dumbbell d(2, 300.0, net::QueueKind::kRed);
+  d.run(30.0, 330.0);
+  const auto& m = d.senders[0]->measurement();
+  const double window_cuts = static_cast<double>(m.window_cuts());
+  const double acked = m.throughput_pps(330.0) * 300.0;
+  ASSERT_GT(window_cuts, 10.0);
+  const double p = window_cuts / acked;  // congestion probability
+  const double predicted = model::tcp_pa_window(p);
+  const double measured = m.avg_cwnd(330.0);
+  EXPECT_GT(measured, 0.5 * predicted);
+  EXPECT_LT(measured, 2.0 * predicted);
+}
+
+TEST(TcpIntegration, LongerRttGetsLessBandwidth) {
+  // The known TCP RTT bias, which motivates the paper's restricted-topology
+  // fairness definition: verify our substrate reproduces it.
+  sim::Simulator sim(3);
+  net::Network net(sim);
+  const auto s = net.add_node(), g = net.add_node();
+  const auto r1 = net.add_node(), r2 = net.add_node();
+  net::LinkConfig bttl;
+  bttl.bandwidth_bps = 300 * 8000.0;
+  bttl.delay = 0.005;
+  net.connect(s, g, bttl);
+  net::LinkConfig near_leg;
+  near_leg.bandwidth_bps = 1e9;
+  near_leg.delay = 0.01;
+  net.connect(g, r1, near_leg);
+  net::LinkConfig far_leg = near_leg;
+  far_leg.delay = 0.15;
+  net.connect(g, r2, far_leg);
+  net.build_routes();
+
+  TcpParams params;
+  params.max_send_overhead = 8000.0 / bttl.bandwidth_bps;
+  TcpReceiver rcv1(net, r1, 1), rcv2(net, r2, 1);
+  TcpSender snd1(net, s, 1, r1, 1, 1, params);
+  TcpSender snd2(net, s, 2, r2, 1, 2, params);
+  snd1.start_at(0.1);
+  snd2.start_at(0.4);
+  sim.at(30.0, [&] {
+    snd1.measurement().begin_measurement(sim.now());
+    snd2.measurement().begin_measurement(sim.now());
+  });
+  sim.run_until(330.0);
+  EXPECT_GT(snd1.measurement().throughput_pps(330.0),
+            1.5 * snd2.measurement().throughput_pps(330.0));
+}
+
+}  // namespace
+}  // namespace rlacast::tcp

@@ -1,0 +1,121 @@
+// ReassemblyBuffer tests: cumulative ACK progression, duplicate detection,
+// and RFC 2018 SACK block generation (most-recent-first ordering).
+#include <gtest/gtest.h>
+
+#include "tcp/reassembly.hpp"
+
+namespace rlacast::tcp {
+namespace {
+
+TEST(Reassembly, InOrderAdvancesCumAck) {
+  ReassemblyBuffer b;
+  for (net::SeqNum s = 0; s < 5; ++s) {
+    EXPECT_TRUE(b.add(s));
+    EXPECT_EQ(b.cum_ack(), s + 1);
+  }
+}
+
+TEST(Reassembly, GapHoldsCumAck) {
+  ReassemblyBuffer b;
+  b.add(0);
+  b.add(2);
+  b.add(3);
+  EXPECT_EQ(b.cum_ack(), 1);
+  b.add(1);  // fill the hole
+  EXPECT_EQ(b.cum_ack(), 4);
+}
+
+TEST(Reassembly, DuplicatesDetected) {
+  ReassemblyBuffer b;
+  EXPECT_TRUE(b.add(0));
+  EXPECT_FALSE(b.add(0));
+  b.add(2);
+  EXPECT_FALSE(b.add(2));
+  b.add(1);
+  EXPECT_FALSE(b.add(1));  // below cum now
+}
+
+TEST(Reassembly, SackBlockCoversContiguousRun) {
+  ReassemblyBuffer b;
+  b.add(0);
+  b.add(2);
+  b.add(3);
+  b.add(4);
+  net::SackBlock blocks[3];
+  const int n = b.sack_blocks(blocks, 3);
+  ASSERT_GE(n, 1);
+  EXPECT_EQ(blocks[0].lo, 2);
+  EXPECT_EQ(blocks[0].hi, 5);
+}
+
+TEST(Reassembly, MostRecentBlockFirst) {
+  ReassemblyBuffer b;
+  b.add(0);
+  b.add(2);   // block [2,3)
+  b.add(5);   // block [5,6)
+  net::SackBlock blocks[3];
+  int n = b.sack_blocks(blocks, 3);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(blocks[0].lo, 5);  // most recent first
+  EXPECT_EQ(blocks[1].lo, 2);
+
+  b.add(3);  // extends [2,3) to [2,4): becomes most recent
+  n = b.sack_blocks(blocks, 3);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(blocks[0].lo, 2);
+  EXPECT_EQ(blocks[0].hi, 4);
+}
+
+TEST(Reassembly, AtMostRequestedBlocks) {
+  ReassemblyBuffer b;
+  b.add(0);
+  for (net::SeqNum s = 2; s < 20; s += 2) b.add(s);  // many isolated blocks
+  net::SackBlock blocks[3];
+  EXPECT_EQ(b.sack_blocks(blocks, 3), 3);
+}
+
+TEST(Reassembly, BlocksMergeAcrossFills) {
+  ReassemblyBuffer b;
+  b.add(0);
+  b.add(2);
+  b.add(4);
+  b.add(3);  // merges [2,3) and [4,5) into [2,5)
+  net::SackBlock blocks[3];
+  const int n = b.sack_blocks(blocks, 3);
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(blocks[0].lo, 2);
+  EXPECT_EQ(blocks[0].hi, 5);
+}
+
+TEST(Reassembly, HighestTracksMaxReceived) {
+  ReassemblyBuffer b;
+  EXPECT_EQ(b.highest(), 0);
+  b.add(10);
+  EXPECT_EQ(b.highest(), 11);
+  b.add(3);
+  EXPECT_EQ(b.highest(), 11);
+}
+
+TEST(Reassembly, HasQueriesBothSides) {
+  ReassemblyBuffer b;
+  b.add(0);
+  b.add(1);
+  b.add(5);
+  EXPECT_TRUE(b.has(0));
+  EXPECT_TRUE(b.has(5));
+  EXPECT_FALSE(b.has(2));
+  EXPECT_FALSE(b.has(99));
+}
+
+TEST(Reassembly, LongOutOfOrderStream) {
+  // Deliver 1000 packets in a deterministic shuffled order; the buffer must
+  // end fully contiguous.
+  ReassemblyBuffer b;
+  for (net::SeqNum s = 0; s < 1000; s += 2) b.add(s);
+  for (net::SeqNum s = 999; s >= 1; s -= 2) b.add(s);
+  EXPECT_EQ(b.cum_ack(), 1000);
+  EXPECT_EQ(b.ooo_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rlacast::tcp

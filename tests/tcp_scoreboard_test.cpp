@@ -1,0 +1,129 @@
+// Scoreboard tests: SACK application, the three-dup loss rule, pipe
+// accounting, retransmission bookkeeping, and cumulative advance.
+#include <gtest/gtest.h>
+
+#include "tcp/scoreboard.hpp"
+
+namespace rlacast::tcp {
+namespace {
+
+Scoreboard with_sent(int n) {
+  Scoreboard sb;
+  for (net::SeqNum s = 0; s < n; ++s) sb.on_send(s);
+  return sb;
+}
+
+void sack_one(Scoreboard& sb, net::SeqNum s) {
+  net::SackBlock b{s, s + 1};
+  sb.apply_sack(&b, 1);
+}
+
+TEST(Scoreboard, AdvanceReturnsNewlyAcked) {
+  Scoreboard sb = with_sent(10);
+  EXPECT_EQ(sb.advance(4), 4);
+  EXPECT_EQ(sb.una(), 4);
+  EXPECT_EQ(sb.advance(4), 0);  // no regress, no double count
+  EXPECT_EQ(sb.advance(2), 0);
+}
+
+TEST(Scoreboard, SackMarksAndCounts) {
+  Scoreboard sb = with_sent(10);
+  net::SackBlock b{3, 6};
+  EXPECT_EQ(sb.apply_sack(&b, 1), 3);
+  EXPECT_TRUE(sb.is_sacked(3));
+  EXPECT_TRUE(sb.is_sacked(5));
+  EXPECT_FALSE(sb.is_sacked(6));
+  EXPECT_EQ(sb.apply_sack(&b, 1), 0);  // idempotent
+  EXPECT_EQ(sb.sacked_count(), 3);
+}
+
+TEST(Scoreboard, LossRequiresDupthreshAbove) {
+  Scoreboard sb = with_sent(10);
+  sack_one(sb, 2);
+  sack_one(sb, 3);
+  EXPECT_EQ(sb.detect_losses(3), 0);  // only 2 SACKed above seq 0/1
+  sack_one(sb, 4);
+  EXPECT_EQ(sb.detect_losses(3), 2);  // seqs 0 and 1 now lost
+  EXPECT_TRUE(sb.is_lost(0));
+  EXPECT_TRUE(sb.is_lost(1));
+  EXPECT_FALSE(sb.is_lost(5));
+}
+
+TEST(Scoreboard, LossDetectionCountsAllSackedAbove) {
+  // The rule is "three above", not "three contiguous": a hole in the middle
+  // still counts toward packets above lower holes.
+  Scoreboard sb = with_sent(10);
+  sack_one(sb, 1);
+  sack_one(sb, 4);
+  sack_one(sb, 7);
+  EXPECT_EQ(sb.detect_losses(3), 1);  // only seq 0 has 3 SACKed above
+  EXPECT_TRUE(sb.is_lost(0));
+  EXPECT_FALSE(sb.is_lost(2));  // just 2 above (4, 7)
+}
+
+TEST(Scoreboard, NextToRetransmitIsLowestUnhandledLoss) {
+  Scoreboard sb = with_sent(10);
+  for (net::SeqNum s : {3, 4, 5}) sack_one(sb, s);
+  sb.detect_losses(3);
+  EXPECT_EQ(sb.next_to_retransmit(), 0);
+  sb.on_retransmit(0);
+  EXPECT_EQ(sb.next_to_retransmit(), 1);
+  sb.on_retransmit(1);
+  sb.on_retransmit(2);
+  EXPECT_EQ(sb.next_to_retransmit(), net::kNoSeq);
+}
+
+TEST(Scoreboard, PipeConservation) {
+  Scoreboard sb = with_sent(10);  // pipe = 10 outstanding
+  EXPECT_EQ(sb.pipe(), 10);
+  for (net::SeqNum s : {5, 6, 7}) sack_one(sb, s);
+  EXPECT_EQ(sb.pipe(), 7);  // SACKed packets left the pipe
+  sb.detect_losses(3);      // seqs 0..4 minus sacked -> 0,1,2,3,4 lost
+  EXPECT_EQ(sb.pipe(), 2);  // lost & unretransmitted leave the pipe (9,8... no:
+                            // remaining in pipe: 8, 9)
+  sb.on_retransmit(0);
+  EXPECT_EQ(sb.pipe(), 3);  // retransmission re-enters the pipe
+}
+
+TEST(Scoreboard, AdvanceClearsState) {
+  Scoreboard sb = with_sent(10);
+  for (net::SeqNum s : {4, 5, 6}) sack_one(sb, s);
+  sb.detect_losses(3);
+  sb.advance(7);
+  EXPECT_EQ(sb.sacked_count(), 0);
+  EXPECT_EQ(sb.lost_count(), 0);
+  EXPECT_EQ(sb.pipe(), 3);
+}
+
+TEST(Scoreboard, SackOfLostPacketUndoesLoss) {
+  Scoreboard sb = with_sent(10);
+  for (net::SeqNum s : {4, 5, 6}) sack_one(sb, s);
+  sb.detect_losses(3);
+  ASSERT_TRUE(sb.is_lost(0));
+  sack_one(sb, 0);  // late arrival: the "loss" was reordering
+  EXPECT_EQ(sb.lost_count(), 3);  // 1,2,3 remain lost
+  EXPECT_EQ(sb.next_to_retransmit(), 1);
+}
+
+TEST(Scoreboard, MarkAllLostForTimeout) {
+  Scoreboard sb = with_sent(6);
+  sack_one(sb, 4);
+  sb.on_retransmit(0);
+  sb.mark_all_lost();
+  EXPECT_TRUE(sb.is_lost(0));
+  EXPECT_FALSE(sb.was_retransmitted(0));  // cleared for go-back restart
+  EXPECT_FALSE(sb.is_lost(4));            // SACKed survives
+  EXPECT_EQ(sb.next_to_retransmit(), 0);
+}
+
+TEST(Scoreboard, ResetRestartsCleanly) {
+  Scoreboard sb = with_sent(10);
+  sb.reset(100);
+  EXPECT_EQ(sb.una(), 100);
+  EXPECT_EQ(sb.high(), 100);
+  EXPECT_EQ(sb.outstanding(), 0);
+  EXPECT_EQ(sb.pipe(), 0);
+}
+
+}  // namespace
+}  // namespace rlacast::tcp

@@ -1,0 +1,200 @@
+// TCP sender behavioural tests, driven by a scripted receiver that can
+// swallow chosen sequence numbers — giving deterministic loss patterns
+// without relying on queue dynamics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace rlacast::tcp {
+namespace {
+
+/// A receiver that pretends configured seqs were never delivered.
+class LossyReceiver final : public net::Agent {
+ public:
+  LossyReceiver(net::Network& net, net::NodeId node, net::PortId port)
+      : net_(net), node_(node), port_(port) {
+    net_.attach(node_, port_, this);
+  }
+
+  void drop(net::SeqNum s) { blackhole_.insert(s); }
+
+  void on_receive(const net::Packet& p) override {
+    if (p.type != net::PacketType::kData) return;
+    seen.push_back(p);
+    if (blackhole_.count(p.seq) && !p.is_rexmit) return;  // swallowed
+    buf_.add(p.seq);
+    net::Packet ack;
+    ack.type = net::PacketType::kAck;
+    ack.src = node_;
+    ack.dst = p.src;
+    ack.src_port = port_;
+    ack.dst_port = p.src_port;
+    ack.size_bytes = 40;
+    ack.ack = buf_.cum_ack();
+    ack.seq = p.seq;
+    ack.ts_echo = p.ts_echo;
+    ack.n_sack = static_cast<std::uint8_t>(
+        buf_.sack_blocks(ack.sack.data(), net::kMaxSackBlocks));
+    net_.inject(ack);
+  }
+
+  std::vector<net::Packet> seen;
+
+ private:
+  net::Network& net_;
+  net::NodeId node_;
+  net::PortId port_;
+  ReassemblyBuffer buf_;
+  std::set<net::SeqNum> blackhole_;
+};
+
+struct Fixture {
+  sim::Simulator sim{1};
+  net::Network net{sim};
+  net::NodeId s, r;
+  LossyReceiver rcvr;
+  TcpSender snd;
+
+  explicit Fixture(TcpParams params = {})
+      : s(net.add_node()),
+        r(add_and_wire()),
+        rcvr(net, r, 1),
+        snd(net, s, 1, r, 1, /*flow=*/1, capped(params)) {}
+
+  // The fixture's link is effectively infinite-capacity; cap the window so
+  // uncontrolled slow start cannot explode the event count.
+  static TcpParams capped(TcpParams p) {
+    p.max_cwnd = std::min(p.max_cwnd, 256.0);
+    return p;
+  }
+
+  net::NodeId add_and_wire() {
+    const net::NodeId n = net.add_node();
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 1e9;  // effectively instantaneous
+    cfg.delay = 0.01;         // rtt = 20 ms
+    cfg.buffer_pkts = 10000;  // this fixture never drops in the network
+    net.connect(s, n, cfg);
+    net.build_routes();
+    return n;
+  }
+};
+
+TEST(TcpSender, InitialWindowSendsOnePacket) {
+  Fixture f;
+  f.snd.start_at(0.0);
+  f.sim.run_until(0.015);  // packet has arrived; its ACK (0.02) has not
+  EXPECT_EQ(f.rcvr.seen.size(), 1u);
+  EXPECT_EQ(f.rcvr.seen[0].seq, 0);
+}
+
+TEST(TcpSender, SlowStartDoublesPerRtt) {
+  Fixture f;
+  f.snd.start_at(0.0);
+  // RTT = 20 ms. After k RTTs of slow start, cwnd ~= 2^k.
+  f.sim.run_until(0.11);  // ~5 RTTs
+  EXPECT_GE(f.snd.cwnd(), 16.0);
+  EXPECT_LE(f.snd.cwnd(), 80.0);
+  EXPECT_GT(f.rcvr.seen.size(), 30u);
+}
+
+TEST(TcpSender, CongestionAvoidanceGrowsLinearly) {
+  TcpParams p;
+  p.initial_ssthresh = 4.0;  // leave slow start quickly
+  Fixture f(p);
+  f.snd.start_at(0.0);
+  f.sim.run_until(0.1);
+  const double w1 = f.snd.cwnd();
+  f.sim.run_until(0.3);  // +10 RTTs
+  const double w2 = f.snd.cwnd();
+  EXPECT_NEAR(w2 - w1, 10.0, 3.0);  // ~1 packet per RTT
+}
+
+TEST(TcpSender, SackLossHalvesWindowOnce) {
+  TcpParams p;
+  p.initial_ssthresh = 100.0;
+  Fixture f(p);
+  f.rcvr.drop(20);
+  f.rcvr.drop(21);  // two drops in one window: still ONE congestion signal
+  f.snd.start_at(0.0);
+  f.sim.run_until(2.0);
+  EXPECT_EQ(f.snd.measurement().window_cuts(), 1u);
+  EXPECT_EQ(f.snd.measurement().timeouts(), 0u);
+  // The holes must have been repaired by retransmission.
+  EXPECT_GT(f.snd.una(), 22);
+}
+
+TEST(TcpSender, SeparatedLossesAreSeparateSignals) {
+  TcpParams p;
+  p.initial_ssthresh = 8.0;
+  Fixture f(p);
+  f.rcvr.drop(30);
+  f.rcvr.drop(200);
+  f.snd.start_at(0.0);
+  f.sim.run_until(5.0);
+  EXPECT_EQ(f.snd.measurement().window_cuts(), 2u);
+}
+
+TEST(TcpSender, RetransmissionCarriesFlag) {
+  Fixture f;
+  f.rcvr.drop(5);
+  f.snd.start_at(0.0);
+  f.sim.run_until(2.0);
+  bool saw_rexmit_of_5 = false;
+  for (const auto& pkt : f.rcvr.seen)
+    if (pkt.seq == 5 && pkt.is_rexmit) saw_rexmit_of_5 = true;
+  EXPECT_TRUE(saw_rexmit_of_5);
+}
+
+TEST(TcpSender, TimeoutCollapsesWindowToOne) {
+  // Swallow a packet and every packet after it, so SACK feedback stops and
+  // only the RTO can recover. (Drop enough future seqs to outlast recovery.)
+  TcpParams pp;
+  pp.initial_ssthresh = 64.0;
+  Fixture f(pp);
+  for (net::SeqNum s = 10; s < 500; ++s) f.rcvr.drop(s);
+  f.snd.start_at(0.0);
+  f.sim.run_until(1.0);
+  EXPECT_GE(f.snd.measurement().timeouts(), 1u);
+  // After a timeout the window restarts from 1 (it may have grown a little
+  // since, but far below the pre-timeout value).
+  EXPECT_LT(f.snd.cwnd(), 10.0);
+}
+
+TEST(TcpSender, RttEstimateMatchesPathRtt) {
+  Fixture f;
+  f.snd.start_at(0.0);
+  f.sim.run_until(1.0);
+  EXPECT_NEAR(f.snd.rtt().srtt(), 0.02, 0.005);
+}
+
+TEST(TcpSender, WindowNeverExceedsMaxCwnd) {
+  TcpParams p;
+  p.max_cwnd = 10.0;
+  Fixture f(p);
+  f.snd.start_at(0.0);
+  f.sim.run_until(2.0);
+  EXPECT_LE(f.snd.cwnd(), 10.0);
+  EXPECT_LE(f.snd.highest_sent() - f.snd.una(), 10);
+}
+
+TEST(TcpSender, ThroughputCountsAckedPackets) {
+  Fixture f;
+  f.snd.start_at(0.0);
+  f.snd.measurement().begin_measurement(0.0);
+  f.sim.run_until(1.0);
+  // max_cwnd unbounded on an instantaneous link: throughput limited only by
+  // slow start; just check accounting consistency.
+  EXPECT_EQ(f.snd.measurement().total_acked(),
+            static_cast<std::uint64_t>(f.snd.una()));
+}
+
+}  // namespace
+}  // namespace rlacast::tcp

@@ -1,0 +1,59 @@
+// Tests for the §2 "ideal fairness" extension: the fairness weight w makes
+// the multicast share a controllable multiple of the TCP share.
+#include <gtest/gtest.h>
+
+#include "topo/flat_tree.hpp"
+
+namespace rlacast::rla {
+namespace {
+
+double share_ratio(double weight, std::uint64_t seed) {
+  topo::FlatTreeConfig cfg;
+  cfg.branches.assign(3, topo::FlatBranch{300.0, 2});  // 3 flows per branch
+  cfg.gateway = topo::GatewayType::kRed;  // pattern-independent losses
+  cfg.rla.fairness_weight = weight;
+  cfg.duration = 260.0;
+  cfg.warmup = 60.0;
+  cfg.seed = seed;
+  const auto res = topo::run_flat_tree(cfg);
+  double tcp_mean = 0.0;
+  for (const auto& t : res.tcps) tcp_mean += t.throughput_pps;
+  tcp_mean /= static_cast<double>(res.tcps.size());
+  return res.rla.throughput_pps / tcp_mean;
+}
+
+TEST(WeightedFairness, WeightOneIsNeutral) {
+  const double r = share_ratio(1.0, 1);
+  EXPECT_GT(r, 0.4);
+  EXPECT_LT(r, 2.5);
+}
+
+TEST(WeightedFairness, ShareIncreasesMonotonicallyInWeight) {
+  const double half = share_ratio(0.5, 2);
+  const double one = share_ratio(1.0, 2);
+  const double two = share_ratio(2.0, 2);
+  EXPECT_LT(half, one);
+  EXPECT_LT(one, two);
+}
+
+TEST(WeightedFairness, LargeWeightDoesNotShutOutTcp) {
+  topo::FlatTreeConfig cfg;
+  cfg.branches.assign(3, topo::FlatBranch{300.0, 2});
+  cfg.gateway = topo::GatewayType::kRed;
+  cfg.rla.fairness_weight = 4.0;
+  cfg.duration = 200.0;
+  cfg.warmup = 50.0;
+  const auto res = topo::run_flat_tree(cfg);
+  // Even an aggressive weight leaves TCP a real share (the weighted sender
+  // still halves on obeyed signals).
+  EXPECT_GT(res.worst_tcp().throughput_pps, 15.0);
+}
+
+TEST(WeightedFairness, SmallWeightStillMakesProgress) {
+  const double r = share_ratio(0.25, 3);
+  EXPECT_GT(r, 0.05);
+  EXPECT_LT(r, 1.0);
+}
+
+}  // namespace
+}  // namespace rlacast::rla

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the shipped result transcripts:
+#   test_output.txt   - full ctest run
+#   bench_output.txt  - every bench binary at its default (scaled) settings
+# Usage: tools/regen_results.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake --build "$ROOT/$BUILD"
+
+ctest --test-dir "$ROOT/$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
+
+: > "$ROOT/bench_output.txt"
+for b in "$ROOT/$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "########## $(basename "$b")" | tee -a "$ROOT/bench_output.txt"
+  "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
+  echo | tee -a "$ROOT/bench_output.txt"
+done
