@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ecn.dir/bench_ecn.cpp.o"
+  "CMakeFiles/bench_ecn.dir/bench_ecn.cpp.o.d"
+  "bench_ecn"
+  "bench_ecn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

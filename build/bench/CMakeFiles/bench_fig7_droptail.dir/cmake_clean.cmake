@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_droptail.dir/bench_fig7_droptail.cpp.o"
+  "CMakeFiles/bench_fig7_droptail.dir/bench_fig7_droptail.cpp.o.d"
+  "bench_fig7_droptail"
+  "bench_fig7_droptail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_droptail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

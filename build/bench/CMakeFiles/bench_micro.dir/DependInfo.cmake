@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/rlacast_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rlacast_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rlacast_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rla/CMakeFiles/rlacast_rla.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/rlacast_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rlacast_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rlacast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlacast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rlacast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

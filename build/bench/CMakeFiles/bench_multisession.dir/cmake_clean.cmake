@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multisession.dir/bench_multisession.cpp.o"
+  "CMakeFiles/bench_multisession.dir/bench_multisession.cpp.o.d"
+  "bench_multisession"
+  "bench_multisession.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multisession.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_red_params.dir/bench_red_params.cpp.o"
+  "CMakeFiles/bench_red_params.dir/bench_red_params.cpp.o.d"
+  "bench_red_params"
+  "bench_red_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_red_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_stream_churn.dir/live_stream_churn.cpp.o"
+  "CMakeFiles/live_stream_churn.dir/live_stream_churn.cpp.o.d"
+  "live_stream_churn"
+  "live_stream_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_stream_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

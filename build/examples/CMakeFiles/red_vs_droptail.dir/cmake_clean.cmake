@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_vs_droptail.dir/red_vs_droptail.cpp.o"
+  "CMakeFiles/red_vs_droptail.dir/red_vs_droptail.cpp.o.d"
+  "red_vs_droptail"
+  "red_vs_droptail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_vs_droptail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_update.dir/software_update.cpp.o"
+  "CMakeFiles/software_update.dir/software_update.cpp.o.d"
+  "software_update"
+  "software_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ltrc.cpp" "src/baselines/CMakeFiles/rlacast_baselines.dir/ltrc.cpp.o" "gcc" "src/baselines/CMakeFiles/rlacast_baselines.dir/ltrc.cpp.o.d"
+  "/root/repo/src/baselines/mbfc.cpp" "src/baselines/CMakeFiles/rlacast_baselines.dir/mbfc.cpp.o" "gcc" "src/baselines/CMakeFiles/rlacast_baselines.dir/mbfc.cpp.o.d"
+  "/root/repo/src/baselines/rate_receiver.cpp" "src/baselines/CMakeFiles/rlacast_baselines.dir/rate_receiver.cpp.o" "gcc" "src/baselines/CMakeFiles/rlacast_baselines.dir/rate_receiver.cpp.o.d"
+  "/root/repo/src/baselines/rate_sender.cpp" "src/baselines/CMakeFiles/rlacast_baselines.dir/rate_sender.cpp.o" "gcc" "src/baselines/CMakeFiles/rlacast_baselines.dir/rate_sender.cpp.o.d"
+  "/root/repo/src/baselines/rl_rate.cpp" "src/baselines/CMakeFiles/rlacast_baselines.dir/rl_rate.cpp.o" "gcc" "src/baselines/CMakeFiles/rlacast_baselines.dir/rl_rate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rlacast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlacast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rlacast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

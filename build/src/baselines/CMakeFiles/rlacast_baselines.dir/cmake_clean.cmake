@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_baselines.dir/ltrc.cpp.o"
+  "CMakeFiles/rlacast_baselines.dir/ltrc.cpp.o.d"
+  "CMakeFiles/rlacast_baselines.dir/mbfc.cpp.o"
+  "CMakeFiles/rlacast_baselines.dir/mbfc.cpp.o.d"
+  "CMakeFiles/rlacast_baselines.dir/rate_receiver.cpp.o"
+  "CMakeFiles/rlacast_baselines.dir/rate_receiver.cpp.o.d"
+  "CMakeFiles/rlacast_baselines.dir/rate_sender.cpp.o"
+  "CMakeFiles/rlacast_baselines.dir/rate_sender.cpp.o.d"
+  "CMakeFiles/rlacast_baselines.dir/rl_rate.cpp.o"
+  "CMakeFiles/rlacast_baselines.dir/rl_rate.cpp.o.d"
+  "librlacast_baselines.a"
+  "librlacast_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

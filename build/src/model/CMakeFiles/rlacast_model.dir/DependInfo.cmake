@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/drift.cpp" "src/model/CMakeFiles/rlacast_model.dir/drift.cpp.o" "gcc" "src/model/CMakeFiles/rlacast_model.dir/drift.cpp.o.d"
+  "/root/repo/src/model/formulas.cpp" "src/model/CMakeFiles/rlacast_model.dir/formulas.cpp.o" "gcc" "src/model/CMakeFiles/rlacast_model.dir/formulas.cpp.o.d"
+  "/root/repo/src/model/two_session_markov.cpp" "src/model/CMakeFiles/rlacast_model.dir/two_session_markov.cpp.o" "gcc" "src/model/CMakeFiles/rlacast_model.dir/two_session_markov.cpp.o.d"
+  "/root/repo/src/model/window_walk.cpp" "src/model/CMakeFiles/rlacast_model.dir/window_walk.cpp.o" "gcc" "src/model/CMakeFiles/rlacast_model.dir/window_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rlacast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlacast_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_model.dir/drift.cpp.o"
+  "CMakeFiles/rlacast_model.dir/drift.cpp.o.d"
+  "CMakeFiles/rlacast_model.dir/formulas.cpp.o"
+  "CMakeFiles/rlacast_model.dir/formulas.cpp.o.d"
+  "CMakeFiles/rlacast_model.dir/two_session_markov.cpp.o"
+  "CMakeFiles/rlacast_model.dir/two_session_markov.cpp.o.d"
+  "CMakeFiles/rlacast_model.dir/window_walk.cpp.o"
+  "CMakeFiles/rlacast_model.dir/window_walk.cpp.o.d"
+  "librlacast_model.a"
+  "librlacast_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_net.dir/agent.cpp.o"
+  "CMakeFiles/rlacast_net.dir/agent.cpp.o.d"
+  "CMakeFiles/rlacast_net.dir/drop_tail.cpp.o"
+  "CMakeFiles/rlacast_net.dir/drop_tail.cpp.o.d"
+  "CMakeFiles/rlacast_net.dir/link.cpp.o"
+  "CMakeFiles/rlacast_net.dir/link.cpp.o.d"
+  "CMakeFiles/rlacast_net.dir/network.cpp.o"
+  "CMakeFiles/rlacast_net.dir/network.cpp.o.d"
+  "CMakeFiles/rlacast_net.dir/node.cpp.o"
+  "CMakeFiles/rlacast_net.dir/node.cpp.o.d"
+  "CMakeFiles/rlacast_net.dir/packet.cpp.o"
+  "CMakeFiles/rlacast_net.dir/packet.cpp.o.d"
+  "CMakeFiles/rlacast_net.dir/red.cpp.o"
+  "CMakeFiles/rlacast_net.dir/red.cpp.o.d"
+  "librlacast_net.a"
+  "librlacast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

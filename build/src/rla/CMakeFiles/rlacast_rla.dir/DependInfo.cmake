@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rla/rla_receiver.cpp" "src/rla/CMakeFiles/rlacast_rla.dir/rla_receiver.cpp.o" "gcc" "src/rla/CMakeFiles/rlacast_rla.dir/rla_receiver.cpp.o.d"
+  "/root/repo/src/rla/rla_sender.cpp" "src/rla/CMakeFiles/rlacast_rla.dir/rla_sender.cpp.o" "gcc" "src/rla/CMakeFiles/rlacast_rla.dir/rla_sender.cpp.o.d"
+  "/root/repo/src/rla/troubled_census.cpp" "src/rla/CMakeFiles/rlacast_rla.dir/troubled_census.cpp.o" "gcc" "src/rla/CMakeFiles/rlacast_rla.dir/troubled_census.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rlacast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/rlacast_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlacast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rlacast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

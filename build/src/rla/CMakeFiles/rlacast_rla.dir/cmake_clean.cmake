@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_rla.dir/rla_receiver.cpp.o"
+  "CMakeFiles/rlacast_rla.dir/rla_receiver.cpp.o.d"
+  "CMakeFiles/rlacast_rla.dir/rla_sender.cpp.o"
+  "CMakeFiles/rlacast_rla.dir/rla_sender.cpp.o.d"
+  "CMakeFiles/rlacast_rla.dir/troubled_census.cpp.o"
+  "CMakeFiles/rlacast_rla.dir/troubled_census.cpp.o.d"
+  "librlacast_rla.a"
+  "librlacast_rla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_rla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

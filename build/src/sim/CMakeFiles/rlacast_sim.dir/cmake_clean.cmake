@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_sim.dir/random.cpp.o"
+  "CMakeFiles/rlacast_sim.dir/random.cpp.o.d"
+  "CMakeFiles/rlacast_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/rlacast_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rlacast_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rlacast_sim.dir/simulator.cpp.o.d"
+  "librlacast_sim.a"
+  "librlacast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

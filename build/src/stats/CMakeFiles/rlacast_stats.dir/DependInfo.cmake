@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ewma.cpp" "src/stats/CMakeFiles/rlacast_stats.dir/ewma.cpp.o" "gcc" "src/stats/CMakeFiles/rlacast_stats.dir/ewma.cpp.o.d"
+  "/root/repo/src/stats/histogram2d.cpp" "src/stats/CMakeFiles/rlacast_stats.dir/histogram2d.cpp.o" "gcc" "src/stats/CMakeFiles/rlacast_stats.dir/histogram2d.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/rlacast_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/rlacast_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/rlacast_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/rlacast_stats.dir/table.cpp.o.d"
+  "/root/repo/src/stats/time_weighted.cpp" "src/stats/CMakeFiles/rlacast_stats.dir/time_weighted.cpp.o" "gcc" "src/stats/CMakeFiles/rlacast_stats.dir/time_weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rlacast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

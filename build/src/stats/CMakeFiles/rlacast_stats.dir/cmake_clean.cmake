@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_stats.dir/ewma.cpp.o"
+  "CMakeFiles/rlacast_stats.dir/ewma.cpp.o.d"
+  "CMakeFiles/rlacast_stats.dir/histogram2d.cpp.o"
+  "CMakeFiles/rlacast_stats.dir/histogram2d.cpp.o.d"
+  "CMakeFiles/rlacast_stats.dir/summary.cpp.o"
+  "CMakeFiles/rlacast_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/rlacast_stats.dir/table.cpp.o"
+  "CMakeFiles/rlacast_stats.dir/table.cpp.o.d"
+  "CMakeFiles/rlacast_stats.dir/time_weighted.cpp.o"
+  "CMakeFiles/rlacast_stats.dir/time_weighted.cpp.o.d"
+  "librlacast_stats.a"
+  "librlacast_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

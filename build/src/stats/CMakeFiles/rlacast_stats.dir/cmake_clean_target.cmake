@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlacast_stats.a"
+)

@@ -1,0 +1,3 @@
+src/stats/CMakeFiles/rlacast_stats.dir/time_weighted.cpp.o: \
+ /root/repo/src/stats/time_weighted.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/stats/time_weighted.hpp /root/repo/src/sim/time.hpp

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/reassembly.cpp" "src/tcp/CMakeFiles/rlacast_tcp.dir/reassembly.cpp.o" "gcc" "src/tcp/CMakeFiles/rlacast_tcp.dir/reassembly.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/tcp/CMakeFiles/rlacast_tcp.dir/rtt_estimator.cpp.o" "gcc" "src/tcp/CMakeFiles/rlacast_tcp.dir/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/scoreboard.cpp" "src/tcp/CMakeFiles/rlacast_tcp.dir/scoreboard.cpp.o" "gcc" "src/tcp/CMakeFiles/rlacast_tcp.dir/scoreboard.cpp.o.d"
+  "/root/repo/src/tcp/tcp_receiver.cpp" "src/tcp/CMakeFiles/rlacast_tcp.dir/tcp_receiver.cpp.o" "gcc" "src/tcp/CMakeFiles/rlacast_tcp.dir/tcp_receiver.cpp.o.d"
+  "/root/repo/src/tcp/tcp_sender.cpp" "src/tcp/CMakeFiles/rlacast_tcp.dir/tcp_sender.cpp.o" "gcc" "src/tcp/CMakeFiles/rlacast_tcp.dir/tcp_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rlacast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlacast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rlacast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

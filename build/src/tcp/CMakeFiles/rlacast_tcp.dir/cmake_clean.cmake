@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_tcp.dir/reassembly.cpp.o"
+  "CMakeFiles/rlacast_tcp.dir/reassembly.cpp.o.d"
+  "CMakeFiles/rlacast_tcp.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/rlacast_tcp.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/rlacast_tcp.dir/scoreboard.cpp.o"
+  "CMakeFiles/rlacast_tcp.dir/scoreboard.cpp.o.d"
+  "CMakeFiles/rlacast_tcp.dir/tcp_receiver.cpp.o"
+  "CMakeFiles/rlacast_tcp.dir/tcp_receiver.cpp.o.d"
+  "CMakeFiles/rlacast_tcp.dir/tcp_sender.cpp.o"
+  "CMakeFiles/rlacast_tcp.dir/tcp_sender.cpp.o.d"
+  "librlacast_tcp.a"
+  "librlacast_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

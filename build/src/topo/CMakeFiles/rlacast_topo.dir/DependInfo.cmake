@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/flat_tree.cpp" "src/topo/CMakeFiles/rlacast_topo.dir/flat_tree.cpp.o" "gcc" "src/topo/CMakeFiles/rlacast_topo.dir/flat_tree.cpp.o.d"
+  "/root/repo/src/topo/flow_rows.cpp" "src/topo/CMakeFiles/rlacast_topo.dir/flow_rows.cpp.o" "gcc" "src/topo/CMakeFiles/rlacast_topo.dir/flow_rows.cpp.o.d"
+  "/root/repo/src/topo/tertiary_tree.cpp" "src/topo/CMakeFiles/rlacast_topo.dir/tertiary_tree.cpp.o" "gcc" "src/topo/CMakeFiles/rlacast_topo.dir/tertiary_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rlacast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/rlacast_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rla/CMakeFiles/rlacast_rla.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rlacast_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlacast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rlacast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

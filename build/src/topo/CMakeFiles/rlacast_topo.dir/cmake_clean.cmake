@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_topo.dir/flat_tree.cpp.o"
+  "CMakeFiles/rlacast_topo.dir/flat_tree.cpp.o.d"
+  "CMakeFiles/rlacast_topo.dir/flow_rows.cpp.o"
+  "CMakeFiles/rlacast_topo.dir/flow_rows.cpp.o.d"
+  "CMakeFiles/rlacast_topo.dir/tertiary_tree.cpp.o"
+  "CMakeFiles/rlacast_topo.dir/tertiary_tree.cpp.o.d"
+  "librlacast_topo.a"
+  "librlacast_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/buffer_periods.cpp" "src/trace/CMakeFiles/rlacast_trace.dir/buffer_periods.cpp.o" "gcc" "src/trace/CMakeFiles/rlacast_trace.dir/buffer_periods.cpp.o.d"
+  "/root/repo/src/trace/packet_trace.cpp" "src/trace/CMakeFiles/rlacast_trace.dir/packet_trace.cpp.o" "gcc" "src/trace/CMakeFiles/rlacast_trace.dir/packet_trace.cpp.o.d"
+  "/root/repo/src/trace/queue_monitor.cpp" "src/trace/CMakeFiles/rlacast_trace.dir/queue_monitor.cpp.o" "gcc" "src/trace/CMakeFiles/rlacast_trace.dir/queue_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rlacast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlacast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rlacast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlacast_trace.dir/buffer_periods.cpp.o"
+  "CMakeFiles/rlacast_trace.dir/buffer_periods.cpp.o.d"
+  "CMakeFiles/rlacast_trace.dir/packet_trace.cpp.o"
+  "CMakeFiles/rlacast_trace.dir/packet_trace.cpp.o.d"
+  "CMakeFiles/rlacast_trace.dir/queue_monitor.cpp.o"
+  "CMakeFiles/rlacast_trace.dir/queue_monitor.cpp.o.d"
+  "librlacast_trace.a"
+  "librlacast_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlacast_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecn_test.dir/ecn_test.cpp.o"
+  "CMakeFiles/ecn_test.dir/ecn_test.cpp.o.d"
+  "ecn_test"
+  "ecn_test.pdb"
+  "ecn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_sweep_test.dir/fairness_sweep_test.cpp.o"
+  "CMakeFiles/fairness_sweep_test.dir/fairness_sweep_test.cpp.o.d"
+  "fairness_sweep_test"
+  "fairness_sweep_test.pdb"
+  "fairness_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_reassembly_test.dir/fuzz_reassembly_test.cpp.o"
+  "CMakeFiles/fuzz_reassembly_test.dir/fuzz_reassembly_test.cpp.o.d"
+  "fuzz_reassembly_test"
+  "fuzz_reassembly_test.pdb"
+  "fuzz_reassembly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_reassembly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_markov_test.dir/model_markov_test.cpp.o"
+  "CMakeFiles/model_markov_test.dir/model_markov_test.cpp.o.d"
+  "model_markov_test"
+  "model_markov_test.pdb"
+  "model_markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_walk_test.dir/model_walk_test.cpp.o"
+  "CMakeFiles/model_walk_test.dir/model_walk_test.cpp.o.d"
+  "model_walk_test"
+  "model_walk_test.pdb"
+  "model_walk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_queue_test.dir/net_queue_test.cpp.o"
+  "CMakeFiles/net_queue_test.dir/net_queue_test.cpp.o.d"
+  "net_queue_test"
+  "net_queue_test.pdb"
+  "net_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_red_test.dir/net_red_test.cpp.o"
+  "CMakeFiles/net_red_test.dir/net_red_test.cpp.o.d"
+  "net_red_test"
+  "net_red_test.pdb"
+  "net_red_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_red_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_rate_test.dir/rl_rate_test.cpp.o"
+  "CMakeFiles/rl_rate_test.dir/rl_rate_test.cpp.o.d"
+  "rl_rate_test"
+  "rl_rate_test.pdb"
+  "rl_rate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_rate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rla_census_test.dir/rla_census_test.cpp.o"
+  "CMakeFiles/rla_census_test.dir/rla_census_test.cpp.o.d"
+  "rla_census_test"
+  "rla_census_test.pdb"
+  "rla_census_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rla_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

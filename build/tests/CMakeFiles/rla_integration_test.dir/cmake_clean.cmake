@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rla_integration_test.dir/rla_integration_test.cpp.o"
+  "CMakeFiles/rla_integration_test.dir/rla_integration_test.cpp.o.d"
+  "rla_integration_test"
+  "rla_integration_test.pdb"
+  "rla_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rla_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

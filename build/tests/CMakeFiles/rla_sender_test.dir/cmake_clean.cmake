@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rla_sender_test.dir/rla_sender_test.cpp.o"
+  "CMakeFiles/rla_sender_test.dir/rla_sender_test.cpp.o.d"
+  "rla_sender_test"
+  "rla_sender_test.pdb"
+  "rla_sender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rla_sender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rla_sender_test.
+# This may be replaced when dependencies are built.

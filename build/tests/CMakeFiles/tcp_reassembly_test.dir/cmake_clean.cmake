@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_reassembly_test.dir/tcp_reassembly_test.cpp.o"
+  "CMakeFiles/tcp_reassembly_test.dir/tcp_reassembly_test.cpp.o.d"
+  "tcp_reassembly_test"
+  "tcp_reassembly_test.pdb"
+  "tcp_reassembly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_reassembly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_tree_test.dir/topo_tree_test.cpp.o"
+  "CMakeFiles/topo_tree_test.dir/topo_tree_test.cpp.o.d"
+  "topo_tree_test"
+  "topo_tree_test.pdb"
+  "topo_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_fairness_test.dir/weighted_fairness_test.cpp.o"
+  "CMakeFiles/weighted_fairness_test.dir/weighted_fairness_test.cpp.o.d"
+  "weighted_fairness_test"
+  "weighted_fairness_test.pdb"
+  "weighted_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

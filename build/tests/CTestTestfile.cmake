@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/net_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/net_red_test[1]_include.cmake")
+include("/root/repo/build/tests/net_link_test[1]_include.cmake")
+include("/root/repo/build/tests/net_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_reassembly_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_reassembly_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_scoreboard_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_sender_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/rla_census_test[1]_include.cmake")
+include("/root/repo/build/tests/rla_sender_test[1]_include.cmake")
+include("/root/repo/build/tests/rla_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/model_formulas_test[1]_include.cmake")
+include("/root/repo/build/tests/model_markov_test[1]_include.cmake")
+include("/root/repo/build/tests/model_walk_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/ecn_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_rate_test[1]_include.cmake")
+include("/root/repo/build/tests/fairness_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_fairness_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_flat_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_tree_test[1]_include.cmake")
