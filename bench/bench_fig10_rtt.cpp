@@ -3,7 +3,8 @@
 // The generalized RLA (pthresh = (srtt_i/srtt_max)^2 / num_trouble_rcvr) on
 // the tertiary tree with gateways G31..G39 added as receivers: 36 receivers
 // total, two RTT classes (gateway receivers ~30 ms, leaves ~230 ms).
-// Two cases: bottlenecks at the level-2 links or at the level-3 links.
+// Two cases: bottlenecks at the level-2 links or at the level-3 links —
+// run as an exp:: grid (`--jobs`, `--replicates`, `--json`).
 //
 // Expected shape (paper values, 2900 s):
 //   case 1 (L2i): RLA 167.6 pkt/s, WTCP 78.0, BTCP 83.2
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "exp/runner.hpp"
 #include "topo/tertiary_tree.hpp"
 
 using namespace rlacast;
@@ -24,25 +26,39 @@ int main(int argc, char** argv) {
 
   const topo::TreeCase cases[] = {topo::TreeCase::kL2AllHetero,
                                   topo::TreeCase::kL3AllHetero};
-  std::vector<bench::CaseColumn> cols;
-  for (const auto c : cases) {
+
+  exp::Grid grid;
+  grid.master_seed(opt.seed).replicates(opt.replicates);
+  for (const auto c : cases)
+    grid.add_case(topo::tree_case_name(c),
+                  exp::Point{}.set("case", static_cast<std::int64_t>(c)));
+
+  const exp::RunFn run = [&](const exp::RunSpec& spec) {
     topo::TreeConfig cfg;
-    cfg.bottleneck = c;
+    cfg.bottleneck = static_cast<topo::TreeCase>(spec.point.get_int("case", 0));
     cfg.gateway = topo::GatewayType::kDropTail;
     cfg.gateway_receivers = true;  // 36 receivers, mixed RTTs
     cfg.rla.rtt_exponent = 2.0;    // f(x) = x^2 (§5.3)
     cfg.duration = opt.duration;
     cfg.warmup = opt.warmup;
-    cfg.seed = opt.seed;
+    cfg.seed = spec.seed;
     const auto res = topo::run_tertiary_tree(cfg);
-    cols.push_back({topo::tree_case_name(c), res.rla[0], res.worst_tcp(),
-                    res.best_tcp()});
-  }
+    return bench::metrics_from_column(
+        {spec.name, res.rla[0], res.worst_tcp(), res.best_tcp()});
+  };
+
+  exp::Runner runner(opt.runner_options());
+  const exp::Results results = runner.run(grid, run);
+  const auto cols = bench::replicate0_columns(results);
 
   std::printf("%s\n", bench::render_fig7_style_table(cols).c_str());
   std::printf(
       "Shape check: the multicast session keeps a reasonable share (above\n"
       "the worst TCP, below a small multiple), despite receivers with\n"
       "~8x different round-trip times.\n");
-  return 0;
+  const bool io_ok = bench::finish_grid_output("fig10_rtt", opt, results,
+                            runner.last_wall_seconds(),
+                            {{"gateway", "droptail"},
+                             {"topology", "gateway_receivers"}});
+  return (results.num_errors() || !io_ok) ? 1 : 0;
 }

@@ -5,6 +5,10 @@
 // 100 pkt/s). Rows: RLA throughput / cwnd / RTT / #signals / #cuts /
 // #forced, and the worst (WTCP) and best (BTCP) competing TCP.
 //
+// The five cases run as an exp:: grid — `--jobs N` fans them out across
+// threads, `--replicates R` repeats each case with derived seeds and prints
+// mean ±95% CI, `--json PATH` emits the machine-readable batch.
+//
 // Expected shape (paper values for reference, 2900 s measurement):
 //   case:         1(L1)  2(L3*)  3(L4*)  4(L4,1-5)  5(L21)
 //   RLA thrput    144.1  105.1    94.6     153.0    224.6
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "exp/runner.hpp"
 #include "model/formulas.hpp"
 #include "topo/tertiary_tree.hpp"
 
@@ -30,20 +35,27 @@ int main(int argc, char** argv) {
       topo::TreeCase::kL1, topo::TreeCase::kL3All, topo::TreeCase::kL4All,
       topo::TreeCase::kL4Some, topo::TreeCase::kL21};
 
-  std::vector<bench::CaseColumn> cols;
-  std::vector<topo::TreeResult> results;
-  for (const auto c : cases) {
+  exp::Grid grid;
+  grid.master_seed(opt.seed).replicates(opt.replicates);
+  for (const auto c : cases)
+    grid.add_case(topo::tree_case_name(c),
+                  exp::Point{}.set("case", static_cast<std::int64_t>(c)));
+
+  const exp::RunFn run = [&](const exp::RunSpec& spec) {
     topo::TreeConfig cfg;
-    cfg.bottleneck = c;
+    cfg.bottleneck = static_cast<topo::TreeCase>(spec.point.get_int("case", 0));
     cfg.gateway = topo::GatewayType::kDropTail;
     cfg.duration = opt.duration;
     cfg.warmup = opt.warmup;
-    cfg.seed = opt.seed;
+    cfg.seed = spec.seed;
     const auto res = topo::run_tertiary_tree(cfg);
-    cols.push_back({topo::tree_case_name(c), res.rla[0], res.worst_tcp(),
-                    res.best_tcp()});
-    results.push_back(res);
-  }
+    return bench::metrics_from_column(
+        {spec.name, res.rla[0], res.worst_tcp(), res.best_tcp()});
+  };
+
+  exp::Runner runner(opt.runner_options());
+  const exp::Results results = runner.run(grid, run);
+  const auto cols = bench::replicate0_columns(results);
 
   std::printf("%s\n", bench::render_fig7_style_table(cols).c_str());
 
@@ -68,5 +80,8 @@ int main(int argc, char** argv) {
                     : 0.0,
                 static_cast<unsigned long long>(r.forced_cuts));
   }
-  return 0;
+  const bool io_ok = bench::finish_grid_output("fig7_droptail", opt, results,
+                            runner.last_wall_seconds(),
+                            {{"gateway", "droptail"}});
+  return (results.num_errors() || !io_ok) ? 1 : 0;
 }

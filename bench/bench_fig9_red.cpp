@@ -2,6 +2,8 @@
 //
 // Identical setup to Figure 7 but with RED gateways (min_th 5, max_th 15)
 // and no random sender overhead (RED eliminates phase effects on its own).
+// Cases run as an exp:: grid: `--jobs N` parallelizes, `--replicates R`
+// adds derived-seed repeats with mean ±95% CI, `--json PATH` emits JSON.
 //
 // Expected shape (paper values, 2900 s): RLA thrput 118.0 / 103.7 / 88.3 /
 // 141.0 / 209.2 across the five cases; fairness closer to absolute than the
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "exp/runner.hpp"
 #include "model/formulas.hpp"
 #include "topo/tertiary_tree.hpp"
 
@@ -24,19 +27,28 @@ int main(int argc, char** argv) {
       topo::TreeCase::kL1, topo::TreeCase::kL3All, topo::TreeCase::kL4All,
       topo::TreeCase::kL4Some, topo::TreeCase::kL21};
 
-  std::vector<bench::CaseColumn> cols;
-  for (const auto c : cases) {
+  exp::Grid grid;
+  grid.master_seed(opt.seed).replicates(opt.replicates);
+  for (const auto c : cases)
+    grid.add_case(topo::tree_case_name(c),
+                  exp::Point{}.set("case", static_cast<std::int64_t>(c)));
+
+  const exp::RunFn run = [&](const exp::RunSpec& spec) {
     topo::TreeConfig cfg;
-    cfg.bottleneck = c;
+    cfg.bottleneck = static_cast<topo::TreeCase>(spec.point.get_int("case", 0));
     cfg.gateway = topo::GatewayType::kRed;
     cfg.phase_randomization = false;  // not needed with RED (§5.1)
     cfg.duration = opt.duration;
     cfg.warmup = opt.warmup;
-    cfg.seed = opt.seed;
+    cfg.seed = spec.seed;
     const auto res = topo::run_tertiary_tree(cfg);
-    cols.push_back({topo::tree_case_name(c), res.rla[0], res.worst_tcp(),
-                    res.best_tcp()});
-  }
+    return bench::metrics_from_column(
+        {spec.name, res.rla[0], res.worst_tcp(), res.best_tcp()});
+  };
+
+  exp::Runner runner(opt.runner_options());
+  const exp::Results results = runner.run(grid, run);
+  const auto cols = bench::replicate0_columns(results);
 
   std::printf("%s\n", bench::render_fig7_style_table(cols).c_str());
 
@@ -50,5 +62,8 @@ int main(int argc, char** argv) {
                 cols[i].name.c_str(), ratio,
                 bounds.contains(ratio) ? "within bounds" : "OUT OF BOUNDS");
   }
-  return 0;
+  const bool io_ok = bench::finish_grid_output("fig9_red", opt, results,
+                            runner.last_wall_seconds(),
+                            {{"gateway", "red"}});
+  return (results.num_errors() || !io_ok) ? 1 : 0;
 }

@@ -4,11 +4,13 @@
 // receivers on the case-3 topology (all leaf links congested).  The paper
 // reports throughputs of 65.1 / 65.9 pkt/s and average windows 19.9 / 20.1:
 // near-perfect sharing.  This bench prints the same two rows and their
-// ratio.
+// ratio; `--replicates R --jobs N` repeats the scenario with derived seeds
+// in parallel and `--json PATH` emits the batch.
 #include <cmath>
 #include <cstdio>
 
 #include "common.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 #include "topo/tertiary_tree.hpp"
 
@@ -18,32 +20,69 @@ int main(int argc, char** argv) {
   bench::Options opt = bench::parse_options(argc, argv);
   bench::print_header("Section 5.2: two overlapping multicast sessions", opt);
 
-  topo::TreeConfig cfg;
-  cfg.bottleneck = topo::TreeCase::kL4All;
-  cfg.gateway = topo::GatewayType::kDropTail;
-  cfg.multicast_sessions = 2;
-  cfg.duration = opt.duration;
-  cfg.warmup = opt.warmup;
-  cfg.seed = opt.seed;
-  const auto res = topo::run_tertiary_tree(cfg);
+  exp::Grid grid;
+  grid.master_seed(opt.seed).replicates(opt.replicates);
+  grid.add_case("two-sessions", exp::Point{}.set("sessions", std::int64_t{2}));
+
+  const exp::RunFn run = [&](const exp::RunSpec& spec) {
+    topo::TreeConfig cfg;
+    cfg.bottleneck = topo::TreeCase::kL4All;
+    cfg.gateway = topo::GatewayType::kDropTail;
+    cfg.multicast_sessions =
+        static_cast<int>(spec.point.get_int("sessions", 2));
+    cfg.duration = opt.duration;
+    cfg.warmup = opt.warmup;
+    cfg.seed = spec.seed;
+    const auto res = topo::run_tertiary_tree(cfg);
+    exp::Metrics m;
+    for (std::size_t i = 0; i < res.rla.size(); ++i) {
+      const std::string p = "s" + std::to_string(i + 1);
+      const auto& r = res.rla[i];
+      m.set(p + ".thrput_pps", r.throughput_pps);
+      m.set(p + ".cwnd", r.avg_cwnd);
+      m.set(p + ".rtt_s", r.avg_rtt);
+      m.set(p + ".cong_signals", static_cast<double>(r.cong_signals));
+      m.set(p + ".wnd_cuts", static_cast<double>(r.window_cuts));
+    }
+    m.set("thrput_ratio",
+          res.rla[0].throughput_pps / res.rla[1].throughput_pps);
+    return m;
+  };
+
+  exp::Runner runner(opt.runner_options());
+  const exp::Results results = runner.run(grid, run);
+  const exp::RunResult* rep0 = results.replicate0("two-sessions");
+  if (!rep0) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 results.runs().empty() ? "no runs"
+                                        : results.runs()[0].error.c_str());
+    return 1;
+  }
 
   stats::Table t({"session", "thrput (pkt/s)", "cwnd", "RTT (s)",
                   "#cong signals", "#wnd cut"});
-  for (std::size_t i = 0; i < res.rla.size(); ++i) {
-    const auto& r = res.rla[i];
-    t.add_row({std::to_string(i + 1), stats::Table::num(r.throughput_pps),
-               stats::Table::num(r.avg_cwnd), stats::Table::num(r.avg_rtt, 3),
-               std::to_string(r.cong_signals), std::to_string(r.window_cuts)});
+  for (int i = 1; i <= 2; ++i) {
+    const std::string p = "s" + std::to_string(i);
+    t.add_row({std::to_string(i),
+               stats::Table::num(rep0->metrics.get(p + ".thrput_pps")),
+               stats::Table::num(rep0->metrics.get(p + ".cwnd")),
+               stats::Table::num(rep0->metrics.get(p + ".rtt_s"), 3),
+               std::to_string(static_cast<std::uint64_t>(
+                   rep0->metrics.get(p + ".cong_signals"))),
+               std::to_string(static_cast<std::uint64_t>(
+                   rep0->metrics.get(p + ".wnd_cuts")))});
   }
   std::printf("%s\n", t.render().c_str());
 
-  const double ratio =
-      res.rla[0].throughput_pps / res.rla[1].throughput_pps;
+  const double ratio = rep0->metrics.get("thrput_ratio");
   std::printf("throughput ratio session1/session2 = %.3f (paper: ~0.99)\n",
               ratio);
   std::printf("multicast fairness: %s\n",
               std::abs(std::log(ratio)) < std::log(1.3)
                   ? "sessions share equally (within 30%)"
                   : "WARNING: sessions diverge");
-  return 0;
+  const bool io_ok = bench::finish_grid_output("multisession", opt, results,
+                            runner.last_wall_seconds(),
+                            {{"topology", "L4All"}, {"sessions", "2"}});
+  return (results.num_errors() || !io_ok) ? 1 : 0;
 }

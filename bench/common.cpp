@@ -1,21 +1,40 @@
 #include "common.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace rlacast::bench {
+
+int Options::resolved_jobs() const {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+exp::RunnerOptions Options::runner_options() const {
+  exp::RunnerOptions r;
+  r.jobs = resolved_jobs();
+  r.progress = (r.jobs > 1 || replicates > 1) && isatty(fileno(stderr));
+  return r;
+}
 
 Options parse_options(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next_value = [&](const char* flag) -> double {
+    auto next_raw = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", flag);
         std::exit(2);
       }
-      return std::atof(argv[++i]);
+      return argv[++i];
+    };
+    auto next_value = [&](const char* flag) -> double {
+      return std::atof(next_raw(flag));
     };
     if (arg == "--full") {
       opt.full = true;
@@ -27,10 +46,28 @@ Options parse_options(int argc, char** argv) {
       opt.duration = next_value("--duration");
     } else if (arg == "--warmup") {
       opt.warmup = next_value("--warmup");
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(next_raw("--jobs"));
+      if (opt.jobs < 0) {
+        std::fprintf(stderr, "--jobs must be >= 0 (0 = hardware)\n");
+        std::exit(2);
+      }
+    } else if (arg == "--replicates") {
+      opt.replicates = std::atoi(next_raw("--replicates"));
+      if (opt.replicates < 1) {
+        std::fprintf(stderr, "--replicates must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (arg == "--json") {
+      opt.json_path = next_raw("--json");
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--seed N] [--duration S] [--warmup S]\n"
-          "  --full   paper-length run (3000 s, statistics after 100 s)\n",
+          "          [--jobs N] [--replicates R] [--json PATH]\n"
+          "  --full        paper-length run (3000 s, statistics after 100 s)\n"
+          "  --jobs N      run cases/replicates on N threads (0 = hardware)\n"
+          "  --replicates R  repeat each case R times with derived seeds\n"
+          "  --json PATH   write machine-readable results.json\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -90,6 +127,94 @@ void print_header(const std::string& title, const Options& opt) {
               static_cast<unsigned long long>(opt.seed),
               opt.full ? " (paper-length)" : " (scaled; use --full)");
   std::printf("==================================================\n");
+}
+
+namespace {
+
+exp::Metrics flow_metrics(exp::Metrics m, const char* prefix,
+                          const topo::FlowRow& f, bool full_block) {
+  const std::string p(prefix);
+  m.set(p + ".thrput_pps", f.throughput_pps);
+  m.set(p + ".cwnd", f.avg_cwnd);
+  m.set(p + ".rtt_s", f.avg_rtt);
+  if (full_block) {
+    m.set(p + ".cong_signals", static_cast<double>(f.cong_signals));
+    m.set(p + ".forced_cuts", static_cast<double>(f.forced_cuts));
+  }
+  m.set(p + ".wnd_cuts", static_cast<double>(f.window_cuts));
+  return m;
+}
+
+topo::FlowRow flow_from_metrics(const exp::Metrics& m, const char* prefix) {
+  const std::string p(prefix);
+  topo::FlowRow f;
+  f.throughput_pps = m.get(p + ".thrput_pps", 0.0);
+  f.avg_cwnd = m.get(p + ".cwnd", 0.0);
+  f.avg_rtt = m.get(p + ".rtt_s", 0.0);
+  f.cong_signals = static_cast<std::uint64_t>(m.get(p + ".cong_signals", 0.0));
+  f.window_cuts = static_cast<std::uint64_t>(m.get(p + ".wnd_cuts", 0.0));
+  f.forced_cuts = static_cast<std::uint64_t>(m.get(p + ".forced_cuts", 0.0));
+  return f;
+}
+
+}  // namespace
+
+exp::Metrics metrics_from_column(const CaseColumn& c) {
+  exp::Metrics m;
+  m = flow_metrics(std::move(m), "rla", c.rla, /*full_block=*/true);
+  m = flow_metrics(std::move(m), "wtcp", c.wtcp, /*full_block=*/false);
+  m = flow_metrics(std::move(m), "btcp", c.btcp, /*full_block=*/false);
+  return m;
+}
+
+CaseColumn column_from_metrics(std::string name, const exp::Metrics& m) {
+  CaseColumn c;
+  c.name = std::move(name);
+  c.rla = flow_from_metrics(m, "rla");
+  c.wtcp = flow_from_metrics(m, "wtcp");
+  c.btcp = flow_from_metrics(m, "btcp");
+  return c;
+}
+
+std::vector<CaseColumn> replicate0_columns(const exp::Results& results) {
+  std::vector<CaseColumn> cols;
+  for (const auto& r : results.runs()) {
+    if (r.spec.replicate != 0) continue;
+    if (!r.ok) {
+      std::fprintf(stderr, "warning: case %s failed: %s\n",
+                   r.spec.name.c_str(), r.error.c_str());
+      continue;
+    }
+    cols.push_back(column_from_metrics(r.spec.name, r.metrics));
+  }
+  return cols;
+}
+
+bool finish_grid_output(
+    const std::string& experiment, const Options& opt, const exp::Results& results,
+    double wall_seconds,
+    std::vector<std::pair<std::string, std::string>> spec_extra) {
+  if (opt.replicates > 1) {
+    std::printf("replicate aggregates (n=%d, mean ±95%% CI):\n%s\n",
+                opt.replicates, results.render_aggregate_table().c_str());
+  }
+  if (const std::size_t errors = results.num_errors()) {
+    std::printf("WARNING: %zu of %zu runs failed (see results.json / stderr)\n",
+                errors, results.runs().size());
+  }
+  if (opt.json_path.empty()) return true;
+  auto extra = std::move(spec_extra);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", opt.duration);
+  extra.emplace_back("duration_s", buf);
+  std::snprintf(buf, sizeof(buf), "%g", opt.warmup);
+  extra.emplace_back("warmup_s", buf);
+  if (!results.write_json(opt.json_path, experiment, opt.seed, opt.replicates,
+                          opt.resolved_jobs(), wall_seconds, extra)) {
+    return false;
+  }
+  std::printf("exp: wrote %s\n", opt.json_path.c_str());
+  return true;
 }
 
 }  // namespace rlacast::bench

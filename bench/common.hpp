@@ -1,12 +1,16 @@
 // Shared helpers for the reproduction benches: command-line handling
-// (--full for paper-length 3000 s runs, --seed, --duration) and the
-// Figure 7/9/10-style table assembly.
+// (--full for paper-length 3000 s runs, --seed, --duration, and the
+// experiment-runner flags --jobs / --replicates / --json), the Figure
+// 7/9/10-style table assembly, and the glue between exp:: grids and the
+// paper's CaseColumn rows.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 #include "topo/flow_rows.hpp"
 
@@ -19,12 +23,26 @@ struct Options {
   double duration = 240.0;
   double warmup = 60.0;
   std::uint64_t seed = 1;
+  /// Experiment-runner controls (benches migrated onto exp::Runner only).
+  int jobs = 1;            // --jobs N; 0 = hardware concurrency
+  int replicates = 1;      // --replicates R; seeds derived per replicate
+  std::string json_path;   // --json PATH; empty = no JSON output
 
   double measured_seconds() const { return duration - warmup; }
+
+  /// Worker count after resolving --jobs 0 to the hardware parallelism.
+  int resolved_jobs() const;
+
+  /// Runner configured from the flags. Progress lines only appear when the
+  /// batch is actually parallel or replicated AND stderr is a terminal, so
+  /// piped transcripts (tools/regen_results.sh) stay deterministic and
+  /// default single-replicate output is byte-compatible with the pre-runner
+  /// benches.
+  exp::RunnerOptions runner_options() const;
 };
 
-/// Parses --full, --seed N, --duration S, --warmup S. Unknown flags abort
-/// with a usage message.
+/// Parses --full, --seed N, --duration S, --warmup S, --jobs N,
+/// --replicates R, --json PATH. Unknown flags abort with a usage message.
 Options parse_options(int argc, char** argv);
 
 /// Adds the RLA row block of Figures 7/9 (one column per case) to a table.
@@ -40,5 +58,26 @@ std::string render_fig7_style_table(const std::vector<CaseColumn>& cases);
 
 /// Prints a standard bench header with reproduction context.
 void print_header(const std::string& title, const Options& opt);
+
+/// Flattens a Figure 7/9/10-style case column into exp metric rows
+/// ("rla.thrput_pps", "wtcp.cwnd", ...). Inverse: column_from_metrics.
+exp::Metrics metrics_from_column(const CaseColumn& c);
+CaseColumn column_from_metrics(std::string name, const exp::Metrics& m);
+
+/// Replicate-0 CaseColumn per case, in grid order — the rows the legacy
+/// single-replicate tables print. A case whose replicate-0 run errored is
+/// skipped with a warning on stderr.
+std::vector<CaseColumn> replicate0_columns(const exp::Results& results);
+
+/// Shared post-processing for migrated benches: prints the replicate
+/// aggregate table (mean ±95% CI) when --replicates > 1, reports error rows,
+/// and writes results.json when --json was given. `spec_extra` adds
+/// bench-specific spec fields (gateway type, topology variant, ...) to the
+/// JSON; duration/warmup are always included. Returns false when a requested
+/// JSON write failed (benches turn that into a nonzero exit).
+bool finish_grid_output(
+    const std::string& experiment, const Options& opt, const exp::Results& results,
+    double wall_seconds,
+    std::vector<std::pair<std::string, std::string>> spec_extra = {});
 
 }  // namespace rlacast::bench

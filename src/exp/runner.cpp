@@ -1,0 +1,79 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace rlacast::exp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Results Runner::run(const std::vector<RunSpec>& specs, const RunFn& fn) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<RunResult> results(specs.size());
+
+  // Shared cursor: each worker claims the next un-run spec. Claim order is
+  // nondeterministic under contention, but every result lands in its own
+  // grid slot and every seed comes from the spec, so output is not.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      RunResult& out = results[i];
+      out.spec = specs[i];
+      const auto run_t0 = std::chrono::steady_clock::now();
+      try {
+        out.metrics = fn(specs[i]);
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+      } catch (...) {
+        out.ok = false;
+        out.error = "unknown exception";
+      }
+      out.wall_seconds = seconds_since(run_t0);
+      const std::size_t completed =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opts_.progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        std::fprintf(stderr, "exp: %zu/%zu %s%s (%.1f s)\n", completed,
+                     specs.size(), specs[i].id().c_str(),
+                     out.ok ? "" : " [ERROR]", out.wall_seconds);
+      }
+    }
+  };
+
+  int jobs = opts_.jobs;
+  if (jobs < 1) jobs = 1;
+  if (static_cast<std::size_t>(jobs) > specs.size())
+    jobs = static_cast<int>(specs.size());
+
+  if (jobs <= 1) {
+    worker();  // run inline: no pool overhead for the common --jobs 1 path
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  last_wall_seconds_ = seconds_since(t0);
+  return Results(std::move(results));
+}
+
+}  // namespace rlacast::exp

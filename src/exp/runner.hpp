@@ -1,0 +1,51 @@
+// Parallel experiment execution: a fixed-size std::thread pool pulls runs
+// off a shared index-based work queue and writes each RunResult into its
+// grid slot, so the returned Results order is the grid order no matter how
+// threads interleave.  Determinism contract: run_fn(spec) must depend only
+// on `spec` (all randomness seeded from spec.seed) — then --jobs N is
+// bit-identical to --jobs 1.
+//
+// A run that throws becomes an error row (ok = false, error = what()) and
+// the rest of the batch proceeds.  Progress goes to stderr as monotonic
+// "exp: k/N id (t s)" completion lines (off by default so single-replicate
+// bench transcripts stay byte-compatible with the pre-runner format).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exp/results.hpp"
+#include "exp/spec.hpp"
+
+namespace rlacast::exp {
+
+/// Scenario closure: maps a RunSpec to its metric rows. Must be callable
+/// concurrently from multiple threads (capture shared state const-only).
+using RunFn = std::function<Metrics(const RunSpec&)>;
+
+struct RunnerOptions {
+  int jobs = 1;           // worker threads; clamped to [1, #runs]
+  bool progress = false;  // per-completion lines on stderr
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions opts = {}) : opts_(opts) {}
+
+  /// Executes every spec through `fn`. Blocks until the batch finishes.
+  Results run(const std::vector<RunSpec>& specs, const RunFn& fn) const;
+
+  /// Convenience: expand + run.
+  Results run(const Grid& grid, const RunFn& fn) const {
+    return run(grid.expand(), fn);
+  }
+
+  /// Batch wall-clock seconds of the most recent run() call.
+  double last_wall_seconds() const { return last_wall_seconds_; }
+
+ private:
+  RunnerOptions opts_;
+  mutable double last_wall_seconds_ = 0.0;
+};
+
+}  // namespace rlacast::exp

@@ -1,8 +1,10 @@
-// Scalar sample summaries (mean / min / max / variance) used by the table
-// reproductions (e.g. worst / best / average congestion-signal counts per
-// branch in Figure 8) and by tests asserting distributions.
+// Scalar sample summaries (mean / min / max / variance / 95% CI) used by the
+// table reproductions (e.g. worst / best / average congestion-signal counts
+// per branch in Figure 8), by the experiment runner's replicate aggregation
+// (exp/results), and by tests asserting distributions.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <limits>
 
@@ -25,6 +27,27 @@ class Summary {
   double max() const { return n_ ? max_ : 0.0; }
   /// Unbiased sample variance.
   double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Half-width of the two-sided 95% confidence interval for the mean,
+  /// t_{0.975,n-1} * s / sqrt(n).  Uses Student's t (not 1.96) because
+  /// replicate counts are small; 0 when n < 2 (no interval estimable).
+  double ci95_halfwidth() const {
+    if (n_ < 2) return 0.0;
+    return t975(n_ - 1) * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+  /// Two-sided 95% Student-t critical value for `df` degrees of freedom
+  /// (exact table for df <= 30, asymptote 1.960 beyond).
+  static double t975(std::size_t df) {
+    static constexpr double kTable[31] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df == 0) return 0.0;
+    return df <= 30 ? kTable[df] : 1.960;
+  }
 
  private:
   std::size_t n_ = 0;

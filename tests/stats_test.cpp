@@ -2,6 +2,8 @@
 // 2-D histograms, table formatting, flow measurement warm-up semantics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "stats/ewma.hpp"
 #include "stats/flow_measurement.hpp"
 #include "stats/histogram2d.hpp"
@@ -87,6 +89,25 @@ TEST(Summary, EmptyIsZero) {
   Summary s;
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Summary, StddevAndCi95) {
+  Summary s;
+  for (double x : {10.0, 12.0, 14.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  // t_{0.975,2} = 4.303; halfwidth = 4.303 * 2 / sqrt(3).
+  EXPECT_NEAR(s.ci95_halfwidth(), 4.303 * 2.0 / std::sqrt(3.0), 1e-9);
+  Summary one;
+  one.add(5.0);
+  EXPECT_DOUBLE_EQ(one.ci95_halfwidth(), 0.0);  // no interval from n=1
+}
+
+TEST(Summary, Ci95UsesAsymptoticTForLargeN) {
+  Summary s;
+  for (int i = 0; i < 100; ++i) s.add(i % 2 ? 1.0 : -1.0);
+  // df=99 > 30 -> 1.960 critical value; s = sqrt(100/99) ~ 1.00504.
+  EXPECT_NEAR(s.ci95_halfwidth(), 1.960 * s.stddev() / 10.0, 1e-12);
 }
 
 TEST(Histogram2D, MassConservedAndClamped) {

@@ -2,19 +2,40 @@
 # Regenerates the shipped result transcripts:
 #   test_output.txt   - full ctest run
 #   bench_output.txt  - every bench binary at its default (scaled) settings
+#   results/*.json    - machine-readable batches from the exp/-migrated benches
+# Benches migrated onto the exp:: runner get --jobs $(nproc) (case-level
+# parallelism; per-run seeds are thread-count independent, so the text
+# tables are unchanged) and write their results.json into results/.
 # Usage: tools/regen_results.sh [build-dir]
 set -euo pipefail
 BUILD="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc)"
 
 cmake --build "$ROOT/$BUILD"
 
 ctest --test-dir "$ROOT/$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
 
+mkdir -p "$ROOT/results"
+
+# Benches migrated onto the exp/ runner (accept --jobs/--json).
+exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession"
+is_exp_bench() {
+  local name="$1" b
+  for b in $exp_benches; do [ "$b" = "$name" ] && return 0; done
+  return 1
+}
+
 : > "$ROOT/bench_output.txt"
 for b in "$ROOT/$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
-  echo "########## $(basename "$b")" | tee -a "$ROOT/bench_output.txt"
-  "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
+  name="$(basename "$b")"
+  echo "########## $name" | tee -a "$ROOT/bench_output.txt"
+  if is_exp_bench "$name"; then
+    "$b" --jobs "$JOBS" --json "$ROOT/results/$name.json" 2>&1 \
+      | tee -a "$ROOT/bench_output.txt"
+  else
+    "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
+  fi
   echo | tee -a "$ROOT/bench_output.txt"
 done
