@@ -1,0 +1,235 @@
+// Engine microbenchmark: raw scheduler throughput and scenario wall-clock.
+//
+// Four cases, run as an exp:: grid (--jobs / --replicates / --json work as
+// in the figure benches; wall-clock metrics are inherently machine-dependent
+// and land in results/bench_engine.json to track the perf trajectory):
+//
+//   schedule_dispatch  schedule+dispatch cycles against a deep pending heap
+//                      (the steady-state cost of a busy simulation);
+//   cancel_heavy       schedule/cancel churn — the retransmission-timer
+//                      pattern where most armed events never fire;
+//   timer_reschedule   sim::Timer re-arm churn (every ACK restarts the
+//                      rexmit timer; almost no timer ever expires);
+//   link_hop           packets pumped through one Link hop (serialize +
+//                      propagate events) — the per-packet engine overhead;
+//   fig7_L1            the Figure 7 L1 drop-tail scenario at quarter
+//                      duration — end-to-end wall-clock of a real workload.
+//
+// Events/sec and wall seconds are printed per case; --json records them.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "exp/runner.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/tertiary_tree.hpp"
+
+using namespace rlacast;
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// schedule+dispatch cycles with `depth` events always pending, mirroring a
+/// busy simulation's steady state.
+exp::Metrics run_schedule_dispatch(std::int64_t n) {
+  sim::Scheduler s;
+  std::uint64_t sink = 0;
+  constexpr int kDepth = 4096;
+  for (int i = 0; i < kDepth; ++i)
+    s.schedule_at(1e9 + static_cast<double>(i), [&sink] { ++sink; });
+  const double t0 = now_seconds();
+  for (std::int64_t i = 0; i < n; ++i) {
+    s.schedule_at(s.now() + 1.0, [&sink] { ++sink; });
+    s.run_one();
+  }
+  const double wall = now_seconds() - t0;
+  s.run_all();
+  exp::Metrics m;
+  m.set("events", static_cast<double>(n));
+  m.set("wall_s", wall);
+  m.set("events_per_sec", static_cast<double>(n) / wall);
+  return m;
+}
+
+/// Most armed events are cancelled before firing (rexmit-timer pattern):
+/// per iteration one schedule+cancel pair plus one schedule+dispatch.
+exp::Metrics run_cancel_heavy(std::int64_t n) {
+  sim::Scheduler s;
+  std::uint64_t sink = 0;
+  const double t0 = now_seconds();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const sim::EventId doomed =
+        s.schedule_at(s.now() + 10.0, [&sink] { ++sink; });
+    s.schedule_at(s.now() + 1.0, [&sink] { ++sink; });
+    s.cancel(doomed);
+    s.run_one();
+  }
+  const double wall = now_seconds() - t0;
+  s.run_all();
+  exp::Metrics m;
+  m.set("events", static_cast<double>(2 * n));
+  m.set("wall_s", wall);
+  m.set("events_per_sec", static_cast<double>(2 * n) / wall);
+  return m;
+}
+
+/// sim::Timer re-arm churn: 64 timers re-armed round-robin, with a periodic
+/// dispatch pass so the heap drains like a real run.
+exp::Metrics run_timer_reschedule(std::int64_t n) {
+  sim::Simulator sim;
+  std::uint64_t fires = 0;
+  constexpr int kTimers = 64;
+  std::vector<std::unique_ptr<sim::Timer>> timers;
+  timers.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i)
+    timers.push_back(
+        std::make_unique<sim::Timer>(sim, [&fires] { ++fires; }));
+  const double t0 = now_seconds();
+  for (std::int64_t i = 0; i < n; ++i)
+    timers[static_cast<std::size_t>(i % kTimers)]->schedule(10.0);
+  sim.run_all();
+  const double wall = now_seconds() - t0;
+  exp::Metrics m;
+  m.set("events", static_cast<double>(n));
+  m.set("wall_s", wall);
+  m.set("events_per_sec", static_cast<double>(n) / wall);
+  return m;
+}
+
+/// Sink that counts deliveries on the far side of the measured hop.
+class CountingSink final : public net::Agent {
+ public:
+  void on_receive(const net::Packet&) override { ++received; }
+  std::uint64_t received = 0;
+};
+
+/// `n` packets through one 1 Gbit/s hop: per-packet engine cost of the
+/// serialize + propagation event pair.
+exp::Metrics run_link_hop(std::int64_t n) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  const net::NodeId a = net.add_node();
+  const net::NodeId b = net.add_node();
+  net::LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.delay = sim::microseconds(50);
+  cfg.buffer_pkts = 64;
+  net.connect(a, b, cfg);
+  net.build_routes();
+  CountingSink sink;
+  net.attach(b, 1, &sink);
+
+  net::Packet p;
+  p.src = a;
+  p.dst = b;
+  p.dst_port = 1;
+  p.size_bytes = net::kDataPacketBytes;
+  // Offered load just under line rate so the queue never overflows: inject
+  // in bursts of 32 and drain.
+  const double t0 = now_seconds();
+  std::int64_t injected = 0;
+  while (injected < n) {
+    for (int burst = 0; burst < 32 && injected < n; ++burst, ++injected) {
+      p.seq = injected;
+      net.inject(p);
+    }
+    sim.run_all();
+  }
+  const double wall = now_seconds() - t0;
+  exp::Metrics m;
+  m.set("packets", static_cast<double>(sink.received));
+  m.set("events", static_cast<double>(sim.scheduler().dispatched()));
+  m.set("wall_s", wall);
+  m.set("events_per_sec",
+        static_cast<double>(sim.scheduler().dispatched()) / wall);
+  // Engine counters: the hot path must stay on the inline/slab fast paths.
+  const stats::EngineCounters& ec = sim.scheduler().counters();
+  m.set("callback_heap_fallbacks",
+        static_cast<double>(ec.callback_heap_fallbacks));
+  m.set("heap_hiwater", static_cast<double>(ec.heap_hiwater));
+  m.set("slab_capacity", static_cast<double>(ec.slab_capacity));
+  return m;
+}
+
+/// The Figure 7 L1 drop-tail case at quarter duration: end-to-end wall-clock
+/// of the real multicast+TCP workload the sweeps fan out.
+exp::Metrics run_fig7_scenario(const bench::Options& opt, std::uint64_t seed) {
+  topo::TreeConfig cfg;
+  cfg.bottleneck = topo::TreeCase::kL1;
+  cfg.gateway = topo::GatewayType::kDropTail;
+  cfg.duration = opt.duration / 4.0;
+  cfg.warmup = opt.warmup / 4.0;
+  cfg.seed = seed;
+  const double t0 = now_seconds();
+  const auto res = topo::run_tertiary_tree(cfg);
+  const double wall = now_seconds() - t0;
+  exp::Metrics m;
+  m.set("sim_s", cfg.duration);
+  m.set("wall_s", wall);
+  m.set("sim_s_per_wall_s", cfg.duration / wall);
+  m.set("rla_thrput_pps", res.rla.empty() ? 0.0 : res.rla[0].throughput_pps);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Engine microbenchmark: scheduler + link hot path", opt);
+
+  const std::int64_t kOps = opt.full ? 8'000'000 : 2'000'000;
+
+  exp::Grid grid;
+  grid.master_seed(opt.seed).replicates(opt.replicates);
+  grid.add_case("schedule_dispatch");
+  grid.add_case("cancel_heavy");
+  grid.add_case("timer_reschedule");
+  grid.add_case("link_hop");
+  grid.add_case("fig7_L1");
+
+  const exp::RunFn run = [&](const exp::RunSpec& spec) {
+    if (spec.name == "schedule_dispatch") return run_schedule_dispatch(kOps);
+    if (spec.name == "cancel_heavy") return run_cancel_heavy(kOps);
+    if (spec.name == "timer_reschedule") return run_timer_reschedule(kOps);
+    if (spec.name == "link_hop") return run_link_hop(kOps / 4);
+    return run_fig7_scenario(opt, spec.seed);
+  };
+
+  // Perf cases must not contend for cores: run sequentially regardless of
+  // --jobs (the flag still controls replicate fan-out in the JSON schema).
+  exp::RunnerOptions ropts = opt.runner_options();
+  ropts.jobs = 1;
+  exp::Runner runner(ropts);
+  const exp::Results results = runner.run(grid, run);
+
+  for (const auto& r : results.runs()) {
+    if (r.spec.replicate != 0) continue;
+    if (!r.ok) {
+      std::printf("%-18s ERROR: %s\n", r.spec.name.c_str(), r.error.c_str());
+      continue;
+    }
+    std::printf("%-18s", r.spec.name.c_str());
+    for (const auto& [k, v] : r.metrics.rows()) {
+      if (k == "events_per_sec" || k == "sim_s_per_wall_s")
+        std::printf("  %s=%.3g", k.c_str(), v);
+      else if (k == "wall_s")
+        std::printf("  wall=%.3fs", v);
+      else if (k == "callback_heap_fallbacks" || k == "heap_hiwater" ||
+               k == "slab_capacity")
+        std::printf("  %s=%g", k.c_str(), v);
+    }
+    std::printf("\n");
+  }
+
+  const bool io_ok =
+      bench::finish_grid_output("engine", opt, results,
+                                runner.last_wall_seconds(), {});
+  return (results.num_errors() || !io_ok) ? 1 : 0;
+}

@@ -17,6 +17,7 @@ RateReceiver::RateReceiver(net::Network& network, net::NodeId node,
       sender_port_(sender_port),
       id_(id),
       params_(params),
+      report_timer_(sim_, [this] { emit_report(); }),
       loss_(params.loss_ewma_gain) {
   network_.attach(node_, port_, this);
   network_.subscribe(group_, node_, this);
@@ -60,7 +61,7 @@ void RateReceiver::emit_report() {
   rep.report_received = period_received_;
   network_.inject(rep);
 
-  sim_.after(params_.monitor_period, [this] { emit_report(); });
+  report_timer_.schedule(params_.monitor_period);
 }
 
 }  // namespace rlacast::baselines

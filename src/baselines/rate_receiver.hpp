@@ -48,6 +48,7 @@ class RateReceiver final : public net::Agent {
   int id_;
   RateReceiverParams params_;
 
+  sim::Timer report_timer_;  // next periodic loss report
   stats::Ewma loss_;
   std::uint64_t received_ = 0;
   std::int64_t period_received_ = 0;

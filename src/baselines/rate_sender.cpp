@@ -14,7 +14,9 @@ RateBasedSender::RateBasedSender(net::Network& network, net::NodeId node,
       group_(group),
       flow_(flow),
       params_(params),
-      rate_(params.initial_rate_pps) {
+      rate_(params.initial_rate_pps),
+      send_timer_(sim_, [this] { send_next(); }),
+      policy_timer_(sim_, [this] { policy_tick(); }) {
   network_.attach(node_, port_, this);
   rate_mean_.start(0.0, rate_);
 }
@@ -54,7 +56,7 @@ void RateBasedSender::send_next() {
   p.ts_echo = sim_.now();
   network_.inject(p);
   ++sent_;
-  sim_.after(1.0 / rate_, [this] { send_next(); });
+  send_timer_.schedule(1.0 / rate_);
 }
 
 void RateBasedSender::set_rate(double r) {
@@ -74,7 +76,7 @@ void RateBasedSender::policy_tick() {
         1.0 / (params_.nominal_rtt * params_.nominal_rtt);
     set_rate(rate_ + slope * params_.update_interval);
   }
-  sim_.after(params_.update_interval, [this] { policy_tick(); });
+  policy_timer_.schedule(params_.update_interval);
 }
 
 }  // namespace rlacast::baselines

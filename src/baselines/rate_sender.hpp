@@ -78,6 +78,8 @@ class RateBasedSender : public net::Agent {
 
   std::vector<double> reported_loss_;
   double rate_;
+  sim::Timer send_timer_;    // next CBR departure (paced at 1/rate)
+  sim::Timer policy_timer_;  // next policy evaluation (update_interval)
   sim::SimTime last_cut_ = -1e18;
   net::SeqNum next_seq_ = 0;
   std::uint64_t sent_ = 0;

@@ -13,10 +13,19 @@ void SendPacer::send(const Packet& p) {
   }
   // Uniform random processing time, serialized so packets of one sender
   // never reorder (the overhead models CPU time, not an independent path).
-  const sim::SimTime depart = std::max(
+  const sim::SimTime depart_at = std::max(
       sim_.now() + rng_.uniform(0.0, max_overhead_), last_departure_);
-  last_departure_ = depart;
-  sim_.at(depart, [this, p] { inject(p); });
+  last_departure_ = depart_at;
+  pending_.push_back(p);
+  auto fire = [this] { depart(); };
+  static_assert(sim::SmallCallback::fits_inline<decltype(fire)>(),
+                "pacer departure events must use the inline callback path");
+  sim_.at(depart_at, std::move(fire));
+}
+
+void SendPacer::depart() {
+  const Packet p = pending_.pop_front();
+  inject(p);
 }
 
 void SendPacer::inject(const Packet& p) { network_.inject(p); }

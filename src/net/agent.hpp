@@ -9,10 +9,9 @@
 #pragma once
 
 #include "net/packet.hpp"
+#include "net/packet_ring.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
-
-#include <deque>
 
 namespace rlacast::net {
 
@@ -30,6 +29,12 @@ class Agent {
 /// With max_overhead == 0 packets are injected immediately (in order).
 /// With max_overhead > 0 each packet waits Uniform(0, max_overhead) of
 /// "processing time"; departures remain in FIFO order.
+///
+/// Pending packets wait in a ring owned by the pacer; each departure event
+/// is a thin callback that pops the ring (no Packet captured in the
+/// closure, no allocation on the send path).  Departure times are
+/// monotonic by construction and the scheduler is FIFO among equal
+/// timestamps, so pops always match the packet their event was armed for.
 class SendPacer {
  public:
   SendPacer(sim::Simulator& sim, Network& network, sim::Rng rng,
@@ -47,12 +52,14 @@ class SendPacer {
 
  private:
   void inject(const Packet& p);
+  void depart();
 
   sim::Simulator& sim_;
   Network& network_;
   sim::Rng rng_;
   sim::SimTime max_overhead_;
   sim::SimTime last_departure_ = 0.0;
+  PacketRing pending_;
 };
 
 }  // namespace rlacast::net

@@ -6,8 +6,7 @@
 // overhead when operating across drop-tail gateways.
 #pragma once
 
-#include <deque>
-
+#include "net/packet_ring.hpp"
 #include "net/queue.hpp"
 
 namespace rlacast::net {
@@ -35,7 +34,7 @@ class DropTailQueue final : public Queue {
   std::size_t capacity_;
   std::int32_t slot_bytes_;
   std::int64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  PacketRing q_;
 };
 
 }  // namespace rlacast::net

@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "net/network.hpp"
@@ -18,7 +19,10 @@ Link::Link(sim::Simulator& sim, Network& network, NodeId from, NodeId to,
       queue_(std::move(queue)) {}
 
 void Link::transmit(const Packet& p) {
-  if (!queue_->enqueue(p, sim_.now())) return;  // dropped
+  if (!queue_->enqueue(p, sim_.now())) {
+    ++drops_;  // queue overflow: the hop discards the packet
+    return;
+  }
   pump();
 }
 
@@ -27,16 +31,33 @@ void Link::pump() {
   auto next = queue_->dequeue(sim_.now());
   if (!next) return;
   busy_ = true;
-  const sim::SimTime serialize = tx_time(next->size_bytes);
-  // One event at serialization end: free the transmitter, launch the
-  // propagation leg, and serve the next queued packet.
-  sim_.after(serialize, [this, p = std::move(*next)]() mutable {
-    busy_ = false;
-    ++delivered_;
-    bytes_delivered_ += static_cast<std::uint64_t>(p.size_bytes);
-    sim_.after(delay_, [this, p = std::move(p)] { network_.deliver(to_, p); });
-    pump();
-  });
+  tx_pkt_ = std::move(*next);
+  inflight_hiwater_ = std::max(inflight_hiwater_, in_flight());
+  auto done = [this] { on_serialized(); };
+  static_assert(sim::SmallCallback::fits_inline<decltype(done)>(),
+                "link pipeline events must use the inline callback path");
+  sim_.after(tx_time(tx_pkt_.size_bytes), std::move(done));
+}
+
+void Link::on_serialized() {
+  // Serialization end: free the transmitter, launch the propagation leg,
+  // and serve the next queued packet.
+  busy_ = false;
+  ++delivered_;
+  bytes_delivered_ += static_cast<std::uint64_t>(tx_pkt_.size_bytes);
+  pipe_.push_back(std::move(tx_pkt_));
+  inflight_hiwater_ = std::max(inflight_hiwater_, in_flight());
+  auto arrive = [this] { on_propagated(); };
+  static_assert(sim::SmallCallback::fits_inline<decltype(arrive)>(),
+                "link pipeline events must use the inline callback path");
+  sim_.after(delay_, std::move(arrive));
+  pump();
+}
+
+void Link::on_propagated() {
+  // Pop before delivering: delivery may re-entrantly transmit on this link.
+  const Packet p = pipe_.pop_front();
+  network_.deliver(to_, p);
 }
 
 }  // namespace rlacast::net

@@ -7,6 +7,13 @@
 //    which the transmitter is free to serve the next packet (propagation is
 //    pipelined, serialization is not).
 //
+// In-flight packets — the one being serialized and those in the propagation
+// pipe — live in a small ring owned by the link; the two pipeline events per
+// hop (serialization end, propagation end) are thin callbacks referencing
+// the link, so pumping a packet performs zero heap allocations and copies no
+// Packet into closures.  Propagation delay is a per-link constant and
+// serialization ends are strictly ordered, so deliveries pop the ring FIFO.
+//
 // Note on buffer semantics: the packet currently being serialized has left
 // the queue, so a queue capacity of B packets admits B+1 packets on the hop.
 // ns-2 counts the in-service packet against the limit; the difference of one
@@ -18,6 +25,7 @@
 #include <memory>
 
 #include "net/packet.hpp"
+#include "net/packet_ring.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
 
@@ -49,8 +57,22 @@ class Link {
   std::uint64_t packets_delivered() const { return delivered_; }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  /// Packets rejected by the output queue at transmit() time.  Mirrors
+  /// queue().stats().dropped but survives queue swaps and is the link-level
+  /// answer to "did this hop silently discard traffic?".
+  std::uint64_t drops() const { return drops_; }
+
+  /// Packets currently on the hop: serializing + in the propagation pipe.
+  std::size_t in_flight() const { return pipe_.size() + (busy_ ? 1u : 0u); }
+
+  /// Deepest simultaneous in-flight occupancy seen (engine counter; bounded
+  /// by the hop's bandwidth-delay product plus the serializer).
+  std::size_t in_flight_hiwater() const { return inflight_hiwater_; }
+
  private:
   void pump();
+  void on_serialized();
+  void on_propagated();
 
   sim::Simulator& sim_;
   Network& network_;
@@ -60,8 +82,12 @@ class Link {
   sim::SimTime delay_;
   std::unique_ptr<Queue> queue_;
   bool busy_ = false;
+  Packet tx_pkt_;      // the packet being serialized (valid while busy_)
+  PacketRing pipe_;    // serialized packets still propagating, FIFO
+  std::size_t inflight_hiwater_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t drops_ = 0;
 };
 
 }  // namespace rlacast::net

@@ -1,0 +1,69 @@
+// PacketRing: a growable FIFO ring of packets owned by the component whose
+// pipeline they are traversing (a Link's in-flight window, a SendPacer's
+// pending queue).
+//
+// The point is allocation behaviour: scheduled events reference the owning
+// component (`this`) and pop from its ring, instead of capturing ~150-byte
+// Packet copies inside chained closures.  The ring grows geometrically to
+// the pipeline's natural depth (bandwidth-delay product of the hop, burst
+// depth of the pacer) and then recycles storage forever — steady-state
+// traffic performs zero heap allocations.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace rlacast::net {
+
+class PacketRing {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Deepest simultaneous occupancy seen (per-link in-flight high-water).
+  std::size_t hiwater() const { return hiwater_; }
+
+  Packet& front() {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+
+  void push_back(Packet p) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(p);
+    ++count_;
+    if (count_ > hiwater_) hiwater_ = count_;
+  }
+
+  /// Removes and returns the oldest packet.
+  Packet pop_front() {
+    assert(count_ > 0);
+    Packet p = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+    return p;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 4 : buf_.size() * 2;
+    std::vector<Packet> next(cap);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  // Power-of-two capacity so the index wrap is a mask.
+  std::vector<Packet> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t hiwater_ = 0;
+};
+
+}  // namespace rlacast::net

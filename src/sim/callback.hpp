@@ -1,0 +1,132 @@
+// SmallCallback: the scheduler's inline callback storage.
+//
+// Every scheduled event used to carry a std::function<void()>, whose
+// small-buffer optimization (16 bytes on libstdc++) is defeated by anything
+// larger than two pointers — so the per-hop lambdas of the packet pipeline
+// heap-allocated on every schedule.  SmallCallback reserves a fixed in-entry
+// buffer large enough for the engine's real captures (a `this` pointer, a
+// couple of references, or a whole std::function when a caller insists) and
+// constructs the callable in place: scheduling a typical event touches no
+// allocator at all.
+//
+// Callables that do not fit fall back to a single heap allocation (tracked
+// by the scheduler's EngineCounters so regressions are visible); hot-path
+// call sites static_assert fits_inline<>() so the fallback can never creep
+// into the timer or link pipeline unnoticed.
+//
+// Move-only, like the packaged callables it stores.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rlacast::sim {
+
+class SmallCallback {
+ public:
+  /// In-entry storage, sized for the engine's captures: Timer and Link
+  /// events capture one pointer; scenario harnesses store a std::function
+  /// (32 bytes) plus a little change.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  /// True when callables of type F are stored in the in-entry buffer
+  /// (no heap allocation on schedule).
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineCapacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  SmallCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<F>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { take(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the stored callable overflowed to the heap (counted by the
+  /// scheduler as EngineCounters::callback_heap_fallbacks).
+  bool on_heap() const { return ops_ != nullptr && ops_->heap; }
+
+  /// Destroys the stored callable, returning to the empty state.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+      /*heap=*/false};
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); },
+      /*heap=*/true};
+
+  void take(SmallCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rlacast::sim

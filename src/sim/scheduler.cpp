@@ -1,53 +1,150 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace rlacast::sim {
 
-EventId Scheduler::schedule_at(SimTime at, Callback cb) {
-  assert(at >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(cb)});
-  pending_ids_.insert(id);
-  ++live_events_;
-  return id;
+bool Scheduler::decode_live(EventId id, std::uint32_t& slot) const {
+  if (id == kInvalidEventId) return false;
+  const auto raw = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (raw == 0 || raw > slots_.size()) return false;
+  slot = raw - 1;
+  const Slot& s = slots_[slot];
+  return s.gen == static_cast<std::uint32_t>(id >> 32) &&
+         static_cast<bool>(s.cb);
 }
 
-void Scheduler::cancel(EventId id) {
-  // A cancellation is only meaningful while the event is still pending;
-  // cancelling an already-fired (or already-cancelled) id must be a no-op or
-  // the live-event accounting would drift.
-  if (pending_ids_.erase(id) == 0) return;
-  cancelled_.insert(id);
-  --live_events_;
+void Scheduler::heap_push(SimTime at, std::uint32_t slot, std::uint32_t gen) {
+  // Manual sift-up on the trivially-copyable key; cheaper than
+  // std::push_heap's iterator machinery and allocation-free once the vector
+  // has warmed up.
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, gen});
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    const HeapEntry& p = heap_[parent];
+    const HeapEntry& c = heap_[i];
+    if (p.at < c.at || (p.at == c.at && p.seq < c.seq)) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+  counters_.heap_hiwater = std::max(counters_.heap_hiwater, heap_.size());
 }
 
-void Scheduler::skim() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void Scheduler::heap_pop() {
+  assert(!heap_.empty());
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    const std::size_t r = l + 1;
+    std::size_t first = l;
+    if (r < n && (heap_[r].at < heap_[l].at ||
+                  (heap_[r].at == heap_[l].at && heap_[r].seq < heap_[l].seq)))
+      first = r;
+    if (heap_[i].at < heap_[first].at ||
+        (heap_[i].at == heap_[first].at && heap_[i].seq < heap_[first].seq))
+      break;
+    std::swap(heap_[i], heap_[first]);
+    i = first;
   }
 }
 
-SimTime Scheduler::next_time() {
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;  // kills outstanding ids and stale heap entries for this slot
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId Scheduler::schedule_at(SimTime at, Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  assert(cb && "scheduling an empty callback");
+  std::uint32_t slot;
+  if (free_head_ != kNoFree) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    counters_.slab_capacity = slots_.size();
+  }
+  Slot& s = slots_[slot];
+  if (cb.on_heap()) ++counters_.callback_heap_fallbacks;
+  s.cb = std::move(cb);
+  heap_push(at, slot, s.gen);
+  ++live_events_;
+  ++counters_.scheduled;
+  counters_.slab_live_hiwater =
+      std::max(counters_.slab_live_hiwater, live_events_);
+  return pack(slot, s.gen);
+}
+
+EventId Scheduler::reschedule_at(EventId id, SimTime at) {
+  assert(at >= now_ && "cannot schedule into the past");
+  std::uint32_t slot;
+  if (!decode_live(id, slot)) return kInvalidEventId;
+  // Retarget in place: the callback stays put; the generation bump orphans
+  // the old heap entry (skimmed lazily) and a fresh key carries the new
+  // (time, sequence) — so a rescheduled event orders exactly as if it had
+  // been cancelled and rescheduled, without touching the callback or slab.
+  Slot& s = slots_[slot];
+  ++s.gen;
+  heap_push(at, slot, s.gen);
+  ++counters_.rescheduled;
+  return pack(slot, s.gen);
+}
+
+void Scheduler::cancel(EventId id) {
+  // Only a live event may be cancelled; anything else must be a no-op or
+  // the live-event accounting would drift. The generation check makes that
+  // exact: an id is live only while its slot still carries its generation.
+  std::uint32_t slot;
+  if (!decode_live(id, slot)) return;
+  slots_[slot].cb.reset();
+  release_slot(slot);
+  --live_events_;
+  ++counters_.cancelled;
+  // Tidy: drop stale keys that already surfaced, and empty the heap outright
+  // when nothing live remains — a fully-cancelled scheduler reports
+  // empty()/next_time() == kNever without a dispatch attempt.
+  if (live_events_ == 0)
+    heap_.clear();
+  else
+    skim();
+}
+
+void Scheduler::skim() const {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_[0];
+    if (slots_[top.slot].gen == top.gen) return;
+    const_cast<Scheduler*>(this)->heap_pop();
+  }
+}
+
+SimTime Scheduler::next_time() const {
   skim();
-  return heap_.empty() ? kNever : heap_.top().at;
+  return heap_.empty() ? kNever : heap_[0].at;
 }
 
 bool Scheduler::run_one() {
   skim();
   if (heap_.empty()) return false;
-  // Move the callback out before popping so re-entrant scheduling is safe.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  pending_ids_.erase(entry.id);
+  const HeapEntry top = heap_[0];
+  heap_pop();
+  // Move the callback out and free the slot before invoking, so re-entrant
+  // scheduling from the callback (which may reuse this very slot) is safe.
+  Callback cb = std::move(slots_[top.slot].cb);  // leaves the slot empty
+  release_slot(top.slot);
   --live_events_;
-  now_ = entry.at;
-  ++dispatched_;
-  entry.cb();
+  now_ = top.at;
+  ++counters_.dispatched;
+  cb();
   return true;
 }
 

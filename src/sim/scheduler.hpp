@@ -1,26 +1,36 @@
 // Event scheduler: the heart of the discrete-event engine.
 //
-// A binary min-heap of (time, sequence, callback) entries.  The sequence
-// number makes ordering of simultaneous events deterministic (FIFO within a
-// timestamp), which in turn makes every simulation in this repository exactly
-// reproducible for a given seed.
+// Storage is a generation-tagged slab: every scheduled event occupies a slot
+// holding its callback in-line (see SmallCallback), and the EventId handed
+// back at scheduling time packs (slot index, generation).  Cancellation is
+// O(1) — bump the slot's generation, free the slot — with no hashing and no
+// per-event container churn; the stale heap entry is skimmed lazily when it
+// surfaces.  Scheduling a typical event (timer re-arm, link pipeline leg)
+// performs zero heap allocations.
 //
-// Events can be cancelled via the EventId returned at scheduling time;
-// cancelled events are dropped lazily when they reach the top of the heap.
-// This is how retransmission timers are implemented without heap surgery.
+// Dispatch order is a binary min-heap of (time, sequence) keys.  The
+// sequence number makes ordering of simultaneous events deterministic (FIFO
+// within a timestamp), which in turn makes every simulation in this
+// repository exactly reproducible for a given seed.  reschedule_at()
+// retargets a pending event in place — the callback stays in its slot; only
+// a fresh (time, sequence) key is pushed — which is what makes TCP-style
+// "restart the rexmit timer on every ACK" churn cheap.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
+#include "stats/engine_counters.hpp"
 
 namespace rlacast::sim {
 
 /// Identifier of a scheduled event; usable to cancel it before it fires.
+/// Packs (generation << 32) | (slot + 1): the +1 keeps 0 free as the
+/// invalid id, and the generation makes ids single-use — a slot reused by a
+/// later event yields a different id, so cancelling a stale handle is a
+/// guaranteed no-op.
 using EventId = std::uint64_t;
 
 /// Invalid/none event id. Scheduler never returns this value.
@@ -28,10 +38,17 @@ inline constexpr EventId kInvalidEventId = 0;
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
   /// Schedules `cb` to run at absolute time `at`. `at` must be >= now().
   EventId schedule_at(SimTime at, Callback cb);
+
+  /// Retargets a pending event to fire at `at` instead, keeping its stored
+  /// callback (no destroy/reconstruct, no slot churn).  Returns the event's
+  /// new id; returns kInvalidEventId — scheduling nothing — when `id` is no
+  /// longer live (already fired or cancelled), in which case the caller
+  /// schedules afresh.
+  EventId reschedule_at(EventId id, SimTime at);
 
   /// Cancels a pending event. Cancelling an already-fired or already-
   /// cancelled event is a harmless no-op.
@@ -46,8 +63,9 @@ class Scheduler {
   /// Current simulation time: the timestamp of the last dispatched event.
   SimTime now() const { return now_; }
 
-  /// Timestamp of the next runnable event; kNever if none.
-  SimTime next_time();
+  /// Timestamp of the next runnable event; kNever if none.  Logically const:
+  /// may lazily discard cancelled entries from the internal heap.
+  SimTime next_time() const;
 
   /// Dispatches the next event. Returns false if none remain.
   bool run_one();
@@ -61,31 +79,60 @@ class Scheduler {
   void run_all();
 
   /// Total number of events dispatched so far (for micro-benchmarks).
-  std::uint64_t dispatched() const { return dispatched_; }
+  std::uint64_t dispatched() const { return counters_.dispatched; }
+
+  /// Cumulative engine counters (schedule/cancel/dispatch volume, heap and
+  /// slab high-water marks, callback heap fallbacks).
+  const stats::EngineCounters& counters() const { return counters_; }
 
  private:
-  struct Entry {
+  /// Heap key + slab reference. 24 bytes, trivially copyable: sift-up and
+  /// sift-down move no callbacks.
+  struct HeapEntry {
     SimTime at;
-    EventId id;
+    std::uint64_t seq;   // FIFO tie-break among equal timestamps
+    std::uint32_t slot;
+    std::uint32_t gen;   // stale when != slots_[slot].gen
+  };
+
+  /// One slab slot: the callback lives here; `gen` advances on every disarm
+  /// (fire, cancel, or in-place retarget) so outstanding ids and heap
+  /// entries referring to the old incarnation die.
+  struct Slot {
     Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among equal timestamps
-    }
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoFree;  // free-list link while unarmed
   };
 
-  /// Pops cancelled entries off the heap top.
-  void skim();
+  static constexpr std::uint32_t kNoFree = 0xffffffffu;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_ids_;
-  std::unordered_set<EventId> cancelled_;
+  static EventId pack(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  /// True and decoded when `id` refers to a currently-armed event.
+  bool decode_live(EventId id, std::uint32_t& slot) const;
+
+  void heap_push(SimTime at, std::uint32_t slot, std::uint32_t gen);
+  void heap_pop();
+
+  /// Discards cancelled entries off the heap top. Mutates only caches
+  /// (the heap), hence callable from const queries.
+  void skim() const;
+
+  /// Returns `slot` to the free list after bumping its generation.
+  void release_slot(std::uint32_t slot);
+
+  // The heap is storage for *keys*; stale entries are cache garbage skimmed
+  // lazily, so const queries may shrink it.
+  mutable std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFree;
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;  // 0 is kInvalidEventId
+  std::uint64_t next_seq_ = 1;
   std::size_t live_events_ = 0;
-  std::uint64_t dispatched_ = 0;
+  stats::EngineCounters counters_;
 };
 
 }  // namespace rlacast::sim

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <string_view>
+#include <utility>
 
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -35,12 +36,18 @@ class Simulator {
     return scheduler_.schedule_at(when, std::move(cb));
   }
 
+  /// Retargets a pending event in place (see Scheduler::reschedule_at).
+  EventId reschedule_at(EventId id, SimTime when) {
+    return scheduler_.reschedule_at(id, when);
+  }
+
   void cancel(EventId id) { scheduler_.cancel(id); }
 
   void run_until(SimTime until) { scheduler_.run_until(until); }
   void run_all() { scheduler_.run_all(); }
 
   Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
   const SeedSequence& seeds() const { return seeds_; }
 
   /// Creates a named deterministic random stream.
@@ -54,8 +61,12 @@ class Simulator {
 };
 
 /// A restartable one-shot timer bound to a simulator, used for protocol
-/// retransmission timers.  Rescheduling or cancelling is O(1) amortized
-/// (lazy deletion in the scheduler).
+/// retransmission timers, delayed ACKs, monitor ticks, and rate pacing.
+///
+/// Re-arming an armed timer retargets the pending event in place through the
+/// scheduler's handle API — the event's inline callback stays in its slab
+/// slot, so the ACK-clocked "restart the rexmit timer on every ACK" pattern
+/// performs zero heap allocations and no cancel+reschedule churn.
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> on_fire)
@@ -67,13 +78,23 @@ class Timer {
   Timer& operator=(const Timer&) = delete;
 
   /// (Re)arms the timer `delay` seconds from now.
-  void schedule(SimTime delay) {
-    cancel();
-    expiry_ = sim_.now() + delay;
-    id_ = sim_.after(delay, [this] {
+  void schedule(SimTime delay) { schedule_at(sim_.now() + delay); }
+
+  /// (Re)arms the timer to fire at absolute time `when`.
+  void schedule_at(SimTime when) {
+    expiry_ = when;
+    if (id_ != kInvalidEventId) {
+      // Armed: retarget the pending event in place.
+      id_ = sim_.reschedule_at(id_, when);
+      if (id_ != kInvalidEventId) return;
+    }
+    auto fire = [this] {
       id_ = kInvalidEventId;
       on_fire_();
-    });
+    };
+    static_assert(SmallCallback::fits_inline<decltype(fire)>(),
+                  "timer events must use the inline callback path");
+    id_ = sim_.at(when, std::move(fire));
   }
 
   void cancel() {

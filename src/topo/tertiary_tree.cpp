@@ -184,17 +184,17 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
     for (auto& m : rla_senders) m->measurement().begin_measurement(sim.now());
     for (auto& t : tcp_senders) t->measurement().begin_measurement(sim.now());
   });
-  std::function<void()> sample;
+  std::unique_ptr<sim::Timer> sampler;
   if (cfg.window_sample_period > 0.0) {
-    sample = [&] {
+    sampler = std::make_unique<sim::Timer>(sim, [&] {
       std::vector<double> row;
       row.reserve(rla_senders.size());
       for (auto& m : rla_senders) row.push_back(m->cwnd());
       res.window_samples.push_back(std::move(row));
       if (sim.now() + cfg.window_sample_period <= cfg.duration)
-        sim.after(cfg.window_sample_period, sample);
-    };
-    sim.at(cfg.warmup, sample);
+        sampler->schedule(cfg.window_sample_period);
+    });
+    sampler->schedule_at(cfg.warmup);
   }
   sim.run_until(cfg.duration);
 

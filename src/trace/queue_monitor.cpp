@@ -7,13 +7,17 @@ namespace rlacast::trace {
 QueueMonitor::QueueMonitor(sim::Simulator& sim, const net::Queue& queue,
                            sim::SimTime period, sim::SimTime start,
                            sim::SimTime stop)
-    : sim_(sim), queue_(queue), period_(period), stop_(stop) {
-  sim_.at(start, [this] { tick(); });
+    : sim_(sim),
+      queue_(queue),
+      period_(period),
+      stop_(stop),
+      tick_timer_(sim, [this] { tick(); }) {
+  tick_timer_.schedule_at(start);
 }
 
 void QueueMonitor::tick() {
   samples_.push_back({sim_.now(), queue_.length()});
-  if (sim_.now() + period_ <= stop_) sim_.after(period_, [this] { tick(); });
+  if (sim_.now() + period_ <= stop_) tick_timer_.schedule(period_);
 }
 
 double QueueMonitor::fraction_at_or_above(std::size_t threshold) const {

@@ -40,6 +40,7 @@ class QueueMonitor {
   const net::Queue& queue_;
   sim::SimTime period_;
   sim::SimTime stop_;
+  sim::Timer tick_timer_;
   std::vector<Sample> samples_;
 };
 

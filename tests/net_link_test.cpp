@@ -6,6 +6,7 @@
 
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "trace/queue_monitor.hpp"
 
 namespace rlacast::net {
 namespace {
@@ -107,6 +108,95 @@ TEST(Link, PropagationIsPipelined) {
   f.sim.run_all();
   EXPECT_NEAR(f.sink.arrivals[0].second, 1.1, 1e-9);
   EXPECT_NEAR(f.sink.arrivals[1].second, 1.2, 1e-9);
+}
+
+TEST(Link, SaturatedLinkDeliversAtExactServiceSpacing) {
+  // Back-to-back saturation: 50 packets offered at once drain at exactly one
+  // serialization time apart, with no drift from the pipeline refactor.
+  Fixture f(8000.0, 0.1, /*buffer=*/100);
+  for (SeqNum s = 0; s < 50; ++s) f.net.inject(f.data(s));
+  f.sim.run_all();
+  ASSERT_EQ(f.sink.arrivals.size(), 50u);
+  for (SeqNum s = 0; s < 50; ++s) {
+    EXPECT_EQ(f.sink.arrivals[size_t(s)].first, s);
+    EXPECT_NEAR(f.sink.arrivals[size_t(s)].second,
+                static_cast<double>(s + 1) * 1.0 + 0.1, 1e-9);
+  }
+  Link* l = f.net.link_between(f.a, f.b);
+  EXPECT_EQ(l->packets_delivered(), 50u);
+  EXPECT_EQ(l->bytes_delivered(), 50u * 1000u);
+  EXPECT_EQ(l->drops(), 0u);
+  EXPECT_EQ(l->in_flight(), 0u);
+}
+
+TEST(Link, FanOutBurstRidesTheInFlightRing) {
+  // A fat, long hop feeding a two-way multicast fan-out: the whole burst is
+  // serialized long before the first packet lands, so every packet sits in
+  // the upstream link's propagation ring simultaneously.
+  sim::Simulator sim{1};
+  Network net{sim};
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const NodeId c = net.add_node();
+  const NodeId d = net.add_node();
+  LinkConfig fat;
+  fat.bandwidth_bps = 8e6;  // 1000 B -> 1 ms serialization
+  fat.delay = 0.5;          // burst fully in flight before first delivery
+  fat.buffer_pkts = 100;
+  net.connect(a, b, fat);
+  net.connect(b, c, fat);
+  net.connect(b, d, fat);
+  net.build_routes();
+  const GroupId g = 7;
+  net.join_group(g, a, c);
+  net.join_group(g, a, d);
+  SinkAgent sink_c{sim}, sink_d{sim};
+  net.subscribe(g, c, &sink_c);
+  net.subscribe(g, d, &sink_d);
+
+  const SeqNum kBurst = 32;
+  for (SeqNum s = 0; s < kBurst; ++s) {
+    Packet p;
+    p.src = a;
+    p.group = g;
+    p.seq = s;
+    p.size_bytes = 1000;
+    net.inject(p);
+  }
+  sim.run_all();
+
+  for (SinkAgent* sink : {&sink_c, &sink_d}) {
+    ASSERT_EQ(sink->arrivals.size(), static_cast<std::size_t>(kBurst));
+    for (SeqNum s = 0; s < kBurst; ++s)
+      EXPECT_EQ(sink->arrivals[size_t(s)].first, s);
+  }
+  Link* ab = net.link_between(a, b);
+  // All 32 serialized within 32 ms, none delivered before 501 ms: the ring
+  // must have held the entire burst at once.
+  EXPECT_EQ(ab->in_flight_hiwater(), static_cast<std::size_t>(kBurst));
+  for (Link* l : {ab, net.link_between(b, c), net.link_between(b, d)}) {
+    EXPECT_EQ(l->packets_delivered(), static_cast<std::uint64_t>(kBurst));
+    EXPECT_EQ(l->drops(), 0u);
+    EXPECT_EQ(l->in_flight(), 0u);
+  }
+}
+
+TEST(Link, DropCounterMatchesQueueStatsAndMonitor) {
+  Fixture f(8000.0, 0.1, /*buffer=*/2);
+  trace::QueueMonitor mon(f.sim, f.net.link_between(f.a, f.b)->queue(),
+                          /*period=*/0.5, /*start=*/0.25, /*stop=*/4.0);
+  // One in service + two queued; the other three bounce off the full buffer.
+  for (SeqNum s = 0; s < 6; ++s) f.net.inject(f.data(s));
+  f.sim.run_all();
+  Link* l = f.net.link_between(f.a, f.b);
+  EXPECT_EQ(l->drops(), 3u);
+  EXPECT_EQ(l->drops(), l->queue().stats().dropped);
+  EXPECT_EQ(l->packets_delivered(), l->queue().stats().dequeued);
+  // The monitor watched the same queue: it must have seen the full buffer
+  // while the backlog drained (2, then 1, then 0 at one-second spacing).
+  EXPECT_EQ(mon.peak_backlog(), 2u);
+  EXPECT_EQ(mon.samples().front().backlog, 2u);
+  EXPECT_EQ(mon.samples().back().backlog, 0u);
 }
 
 TEST(SendPacer, ZeroOverheadInjectsImmediately) {

@@ -3,8 +3,11 @@
 // simulator relies on.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulator.hpp"
 
@@ -103,6 +106,176 @@ TEST(Scheduler, ChainOfEventsAdvancesClock) {
   EXPECT_EQ(hops, 100);
   EXPECT_DOUBLE_EQ(s.now(), 50.0);
   EXPECT_EQ(s.dispatched(), 100u);
+}
+
+TEST(Scheduler, NextTimeIsConstAndSkipsCancelled) {
+  Scheduler s;
+  const EventId early = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  s.cancel(early);
+  const Scheduler& cs = s;  // next_time() must be callable on a const ref
+  EXPECT_DOUBLE_EQ(cs.next_time(), 2.0);
+}
+
+TEST(Scheduler, CancellingEverythingReportsEmptyWithoutDispatch) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i)
+    ids.push_back(s.schedule_at(1.0 + i, [] { ADD_FAILURE() << "fired"; }));
+  for (const EventId id : ids) s.cancel(id);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_DOUBLE_EQ(s.next_time(), kNever);
+  EXPECT_FALSE(s.run_one());
+  EXPECT_EQ(s.dispatched(), 0u);
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Scheduler, StaleIdCannotCancelASlotsNextTenant) {
+  Scheduler s;
+  bool first = false, second = false;
+  const EventId a = s.schedule_at(1.0, [&] { first = true; });
+  s.cancel(a);  // frees the slot
+  const EventId b = s.schedule_at(2.0, [&] { second = true; });  // reuses it
+  EXPECT_NE(a, b);
+  s.cancel(a);  // stale generation: must not touch b
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Scheduler, IdsStayUniqueAcrossManyGenerationsOfOneSlot) {
+  Scheduler s;
+  EventId prev = kInvalidEventId;
+  for (int gen = 0; gen < 1000; ++gen) {
+    const EventId id = s.schedule_at(1.0, [] {});
+    EXPECT_NE(id, prev);
+    prev = id;
+    s.cancel(id);
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, RescheduleRetargetsInPlace) {
+  Scheduler s;
+  std::vector<int> order;
+  const EventId id = s.schedule_at(5.0, [&] { order.push_back(1); });
+  const EventId id2 = s.reschedule_at(id, 1.0);
+  ASSERT_NE(id2, kInvalidEventId);
+  EXPECT_NE(id2, id);
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.cancel(id);  // the pre-reschedule id is stale; must be a no-op
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.dispatched(), 2u);
+}
+
+TEST(Scheduler, RescheduleOrdersLikeCancelPlusReschedule) {
+  // Retargeting onto an occupied timestamp consumes a fresh sequence number,
+  // so the moved event fires after events already booked at that time.
+  Scheduler s;
+  std::vector<int> order;
+  const EventId id = s.schedule_at(0.5, [&] { order.push_back(0); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.reschedule_at(id, 1.0);
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(Scheduler, RescheduleOfDeadIdReturnsInvalid) {
+  Scheduler s;
+  int fires = 0;
+  const EventId fired = s.schedule_at(1.0, [&] { ++fires; });
+  s.run_one();
+  EXPECT_EQ(s.reschedule_at(fired, 2.0), kInvalidEventId);
+  const EventId cancelled = s.schedule_at(2.0, [&] { ++fires; });
+  s.cancel(cancelled);
+  EXPECT_EQ(s.reschedule_at(cancelled, 3.0), kInvalidEventId);
+  EXPECT_EQ(s.reschedule_at(kInvalidEventId, 3.0), kInvalidEventId);
+  s.run_all();
+  EXPECT_EQ(fires, 1);
+}
+
+// Randomized differential test: the slab scheduler against a naive reference
+// that keeps every event in a flat vector and linearly scans for the minimum
+// (time, sequence) key.  Timestamps are quantized so simultaneous events are
+// common and the FIFO tie-break is genuinely exercised.
+TEST(Scheduler, RandomizedStressMatchesNaiveReference) {
+  struct RefEvent {
+    SimTime at;
+    std::uint64_t seq;
+    int marker;
+    bool alive;
+  };
+  Scheduler s;
+  Rng rng(0x5eed5eedULL);
+  std::vector<RefEvent> ref;
+  std::vector<int> real_order, ref_order;
+  // Outstanding handles: (real id, index into ref). Entries may refer to
+  // events that already fired — exactly the staleness cancel/reschedule
+  // must tolerate.
+  std::vector<std::pair<EventId, std::size_t>> handles;
+  std::uint64_t ref_seq = 1;
+  int next_marker = 0;
+
+  auto ref_run_one = [&]() -> bool {
+    std::size_t best = ref.size();
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (!ref[i].alive) continue;
+      if (best == ref.size() || ref[i].at < ref[best].at ||
+          (ref[i].at == ref[best].at && ref[i].seq < ref[best].seq))
+        best = i;
+    }
+    if (best == ref.size()) return false;
+    ref_order.push_back(ref[best].marker);
+    ref[best].alive = false;
+    return true;
+  };
+
+  for (int op = 0; op < 20000; ++op) {
+    const double r = rng.uniform();
+    if (r < 0.50) {
+      const SimTime at = s.now() + 0.5 * rng.uniform_int(0, 8);
+      const int m = next_marker++;
+      const EventId id =
+          s.schedule_at(at, [&real_order, m] { real_order.push_back(m); });
+      handles.emplace_back(id, ref.size());
+      ref.push_back({at, ref_seq++, m, true});
+    } else if (r < 0.65 && !handles.empty()) {
+      const auto k = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1));
+      s.cancel(handles[k].first);  // may be stale: no-op in both worlds
+      ref[handles[k].second].alive = false;
+      handles.erase(handles.begin() +
+                    static_cast<std::ptrdiff_t>(k));
+    } else if (r < 0.80 && !handles.empty()) {
+      const auto k = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1));
+      const SimTime at = s.now() + 0.5 * rng.uniform_int(0, 8);
+      const EventId nid = s.reschedule_at(handles[k].first, at);
+      // The slab must report dead exactly when the reference does.
+      ASSERT_EQ(nid != kInvalidEventId, ref[handles[k].second].alive);
+      if (nid != kInvalidEventId) {
+        const int m = ref[handles[k].second].marker;
+        ref[handles[k].second].alive = false;
+        handles[k] = {nid, ref.size()};
+        ref.push_back({at, ref_seq++, m, true});
+      } else {
+        handles.erase(handles.begin() +
+                      static_cast<std::ptrdiff_t>(k));
+      }
+    } else {
+      ASSERT_EQ(s.run_one(), ref_run_one());
+    }
+  }
+  while (ref_run_one()) {
+  }
+  s.run_all();
+  ASSERT_EQ(real_order.size(), ref_order.size());
+  EXPECT_EQ(real_order, ref_order);
+  EXPECT_TRUE(s.empty());
 }
 
 TEST(Simulator, AfterSchedulesRelativeToNow) {
