@@ -19,6 +19,8 @@ exp::RunnerOptions Options::runner_options() const {
   exp::RunnerOptions r;
   r.jobs = resolved_jobs();
   r.progress = (r.jobs > 1 || replicates > 1) && isatty(fileno(stderr));
+  r.timeout_seconds = run_timeout;
+  r.max_retries = retries;
   return r;
 }
 
@@ -60,14 +62,32 @@ Options parse_options(int argc, char** argv) {
       }
     } else if (arg == "--json") {
       opt.json_path = next_raw("--json");
+    } else if (arg == "--timeout") {
+      opt.run_timeout = next_value("--timeout");
+      if (opt.run_timeout < 0.0) {
+        std::fprintf(stderr, "--timeout must be >= 0 (0 = off)\n");
+        std::exit(2);
+      }
+    } else if (arg == "--retries") {
+      opt.retries = std::atoi(next_raw("--retries"));
+      if (opt.retries < 0) {
+        std::fprintf(stderr, "--retries must be >= 0\n");
+        std::exit(2);
+      }
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--full] [--seed N] [--duration S] [--warmup S]\n"
           "          [--jobs N] [--replicates R] [--json PATH]\n"
+          "          [--timeout S] [--retries N] [--smoke]\n"
           "  --full        paper-length run (3000 s, statistics after 100 s)\n"
           "  --jobs N      run cases/replicates on N threads (0 = hardware)\n"
           "  --replicates R  repeat each case R times with derived seeds\n"
-          "  --json PATH   write machine-readable results.json\n",
+          "  --json PATH   write machine-readable results.json\n"
+          "  --timeout S   per-run wall-clock limit; overdue runs fail (0 = off)\n"
+          "  --retries N   extra attempts for transiently failing runs\n"
+          "  --smoke       CI-sized quick pass (bench-specific reduction)\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -27,6 +27,9 @@ struct Options {
   int jobs = 1;            // --jobs N; 0 = hardware concurrency
   int replicates = 1;      // --replicates R; seeds derived per replicate
   std::string json_path;   // --json PATH; empty = no JSON output
+  double run_timeout = 0.0;  // --timeout S; per-run wall-clock limit, 0 = off
+  int retries = 0;           // --retries N; extra attempts on TransientError
+  bool smoke = false;        // --smoke; CI-sized quick pass (bench-defined)
 
   double measured_seconds() const { return duration - warmup; }
 
@@ -42,7 +45,8 @@ struct Options {
 };
 
 /// Parses --full, --seed N, --duration S, --warmup S, --jobs N,
-/// --replicates R, --json PATH. Unknown flags abort with a usage message.
+/// --replicates R, --json PATH, --timeout S, --retries N, --smoke.
+/// Unknown flags abort with a usage message.
 Options parse_options(int argc, char** argv);
 
 /// Adds the RLA row block of Figures 7/9 (one column per case) to a table.

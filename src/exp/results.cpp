@@ -245,6 +245,13 @@ std::string Results::to_json(
       out += ",\"error\":";
       json_escape(out, r.error);
     }
+    // Timeout/retry columns appear only when those paths were taken, so
+    // legacy results.json output is byte-identical.
+    if (r.timed_out) out += ",\"timed_out\":true";
+    if (r.retries > 0) {
+      std::snprintf(buf, sizeof(buf), ",\"retries\":%d", r.retries);
+      out += buf;
+    }
     out += ",\"wall_seconds\":";
     json_number(out, r.wall_seconds);
     out += ",\"metrics\":";

@@ -52,6 +52,8 @@ struct RunResult {
   bool ok = false;
   std::string error;          // exception text when !ok
   double wall_seconds = 0.0;  // this run's wall-clock time
+  int retries = 0;            // extra attempts consumed (TransientError only)
+  bool timed_out = false;     // killed by the per-run wall-clock timeout
 };
 
 /// Mean / stddev / 95% CI of one metric across a case's replicates.

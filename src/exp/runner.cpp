@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -14,6 +16,62 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Outcome of one attempt at one run.
+struct Attempt {
+  bool ok = false;
+  bool transient = false;  // failure was a TransientError
+  Metrics metrics;
+  std::string error;
+};
+
+Attempt attempt_run(const RunFn& fn, const RunSpec& spec) {
+  Attempt a;
+  try {
+    a.metrics = fn(spec);
+    a.ok = true;
+  } catch (const TransientError& e) {
+    a.transient = true;
+    a.error = e.what();
+  } catch (const std::exception& e) {
+    a.error = e.what();
+  } catch (...) {
+    a.error = "unknown exception";
+  }
+  return a;
+}
+
+/// One attempt under a wall-clock limit.  The attempt runs on a detached
+/// thread; if it finishes in time its outcome is taken, otherwise the
+/// thread is abandoned — it keeps the shared state alive through its own
+/// shared_ptr, so a late write after abandonment touches only memory the
+/// waiter no longer reads.  Returns false on timeout.
+bool attempt_with_timeout(const RunFn& fn, const RunSpec& spec,
+                          double timeout_seconds, Attempt& out) {
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Attempt result;
+  };
+  auto shared = std::make_shared<Shared>();
+  // `fn` and `spec` are copied into the thread: the waiter (and even the
+  // whole batch) may return before an abandoned attempt finishes.
+  std::thread([shared, fn, spec] {
+    Attempt a = attempt_run(fn, spec);
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->result = std::move(a);
+    shared->done = true;
+    shared->cv.notify_all();
+  }).detach();
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  const bool finished = shared->cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [&] { return shared->done; });
+  if (finished) out = std::move(shared->result);
+  return finished;
 }
 
 }  // namespace
@@ -36,15 +94,34 @@ Results Runner::run(const std::vector<RunSpec>& specs, const RunFn& fn) const {
       RunResult& out = results[i];
       out.spec = specs[i];
       const auto run_t0 = std::chrono::steady_clock::now();
-      try {
-        out.metrics = fn(specs[i]);
-        out.ok = true;
-      } catch (const std::exception& e) {
-        out.ok = false;
-        out.error = e.what();
-      } catch (...) {
-        out.ok = false;
-        out.error = "unknown exception";
+      for (int attempt = 0;; ++attempt) {
+        Attempt a;
+        if (opts_.timeout_seconds > 0.0) {
+          if (!attempt_with_timeout(fn, specs[i], opts_.timeout_seconds, a)) {
+            // The attempt's thread is abandoned; never retry a timeout —
+            // the wedge is almost certainly deterministic and each retry
+            // would cost the full limit again.
+            out.ok = false;
+            out.timed_out = true;
+            char msg[64];
+            std::snprintf(msg, sizeof(msg), "timeout after %g s",
+                          opts_.timeout_seconds);
+            out.error = msg;
+            break;
+          }
+        } else {
+          a = attempt_run(fn, specs[i]);
+        }
+        out.ok = a.ok;
+        out.metrics = std::move(a.metrics);
+        out.error = std::move(a.error);
+        if (a.ok || !a.transient || attempt >= opts_.max_retries) break;
+        out.retries = attempt + 1;
+        const double backoff =
+            opts_.retry_backoff_seconds * static_cast<double>(1 << attempt);
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        }
       }
       out.wall_seconds = seconds_since(run_t0);
       const std::size_t completed =
@@ -53,7 +130,8 @@ Results Runner::run(const std::vector<RunSpec>& specs, const RunFn& fn) const {
         std::lock_guard<std::mutex> lock(progress_mu);
         std::fprintf(stderr, "exp: %zu/%zu %s%s (%.1f s)\n", completed,
                      specs.size(), specs[i].id().c_str(),
-                     out.ok ? "" : " [ERROR]", out.wall_seconds);
+                     out.ok ? "" : (out.timed_out ? " [TIMEOUT]" : " [ERROR]"),
+                     out.wall_seconds);
       }
     }
   };

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "exp/results.hpp"
@@ -23,9 +25,31 @@ namespace rlacast::exp {
 /// concurrently from multiple threads (capture shared state const-only).
 using RunFn = std::function<Metrics(const RunSpec&)>;
 
+/// A run failure worth retrying (resource exhaustion, racy I/O, anything
+/// that may succeed on a second attempt).  Deterministic exceptions — a bad
+/// parameter, an invariant violation, sim::WatchdogTimeout — would fail
+/// identically every attempt, so only this type triggers the runner's
+/// retry-with-backoff path.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 struct RunnerOptions {
   int jobs = 1;           // worker threads; clamped to [1, #runs]
   bool progress = false;  // per-completion lines on stderr
+  /// Per-run wall-clock limit in seconds; 0 disables.  A run exceeding it
+  /// is recorded as failed ("timeout after N s", timed_out = true) and the
+  /// rest of the batch proceeds.  The overdue run's thread is abandoned
+  /// (detached) — threads cannot be killed portably — so run_fn must not
+  /// hold locks the remaining runs need.  Timeouts are never retried.
+  double timeout_seconds = 0.0;
+  /// Extra attempts (beyond the first) for runs failing with a
+  /// TransientError.  Deterministic exceptions are not retried.
+  int max_retries = 0;
+  /// Sleep before retry attempt k is backoff * 2^(k-1) seconds.
+  double retry_backoff_seconds = 0.05;
 };
 
 class Runner {

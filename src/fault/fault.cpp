@@ -1,0 +1,113 @@
+#include "fault/fault.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/network.hpp"
+
+namespace rlacast::fault {
+
+LinkFaultState::LinkFaultState(sim::Simulator& sim, LinkImpairment imp,
+                               sim::Rng rng)
+    : sim_(sim), imp_(std::move(imp)), rng_(std::move(rng)) {}
+
+void LinkFaultState::start() {
+  if (!imp_.flapping()) return;
+  flap_down_ = false;
+  schedule_flap();
+}
+
+void LinkFaultState::schedule_flap() {
+  const sim::SimTime dwell = rng_.exponential(
+      flap_down_ ? imp_.flap_mean_down : imp_.flap_mean_up);
+  sim_.after(dwell, [this] {
+    flap_down_ = !flap_down_;
+    schedule_flap();
+  });
+}
+
+bool LinkFaultState::down(sim::SimTime now) {
+  bool is_down = flap_down_;
+  if (!is_down) {
+    for (const Outage& o : imp_.outages) {
+      if (now >= o.start && now < o.end) {
+        is_down = true;
+        break;
+      }
+    }
+  }
+  if (is_down) ++outage_drops_;
+  return is_down;
+}
+
+net::LinkFaultHook::WireVerdict LinkFaultState::wire(const net::Packet&,
+                                                     sim::SimTime) {
+  ++offered_;
+  WireVerdict v;
+  // Draw order is fixed — GE advance, GE loss, Bernoulli loss, duplication,
+  // jitter — so a given seed always consumes the stream identically and
+  // reruns are bit-identical.
+  if (imp_.ge.enabled()) {
+    ge_bad_ = ge_bad_ ? !rng_.chance(imp_.ge.p_bad_to_good)
+                      : rng_.chance(imp_.ge.p_good_to_bad);
+    const double p = ge_bad_ ? imp_.ge.loss_bad : imp_.ge.loss_good;
+    if (p > 0.0 && rng_.chance(p)) v.lost = true;
+  }
+  if (!v.lost && imp_.loss_p > 0.0 && rng_.chance(imp_.loss_p)) v.lost = true;
+  if (v.lost) {
+    ++wire_losses_;
+    return v;
+  }
+  if (imp_.duplicate_p > 0.0 && rng_.chance(imp_.duplicate_p)) {
+    v.duplicated = true;
+    ++duplicates_;
+  }
+  if (imp_.max_jitter > 0.0) {
+    v.extra_delay = rng_.uniform(0.0, imp_.max_jitter);
+  }
+  return v;
+}
+
+FaultPlan& FaultPlan::impair(net::NodeId from, net::NodeId to,
+                             const LinkImpairment& imp) {
+  for (Entry& e : entries_) {
+    if (e.from == from && e.to == to) {
+      e.imp = imp;
+      return *this;
+    }
+  }
+  entries_.push_back(Entry{from, to, imp, nullptr});
+  return *this;
+}
+
+void FaultPlan::arm(net::Network& net) {
+  for (Entry& e : entries_) {
+    net::Link* link = net.link_between(e.from, e.to);
+    if (link == nullptr) {
+      throw std::invalid_argument(
+          "FaultPlan::arm: no link " + std::to_string(e.from) + "->" +
+          std::to_string(e.to));
+    }
+    sim::Simulator& sim = net.simulator();
+    const std::string stream = "fault-link-" + std::to_string(e.from) + "-" +
+                               std::to_string(e.to);
+    e.state = std::make_unique<LinkFaultState>(sim, e.imp,
+                                               sim.rng_stream(stream));
+    link->set_fault_hook(e.state.get());
+    e.state->start();
+  }
+}
+
+FaultTotals FaultPlan::totals() const {
+  FaultTotals t;
+  for (const Entry& e : entries_) {
+    if (!e.state) continue;
+    t.offered += e.state->offered();
+    t.wire_losses += e.state->wire_losses();
+    t.outage_drops += e.state->outage_drops();
+    t.duplicates += e.state->duplicates();
+  }
+  return t;
+}
+
+}  // namespace rlacast::fault

@@ -19,6 +19,13 @@ Link::Link(sim::Simulator& sim, Network& network, NodeId from, NodeId to,
       queue_(std::move(queue)) {}
 
 void Link::transmit(const Packet& p) {
+  if (fault_ != nullptr && fault_->down(sim_.now())) {
+    // Interface outage: the packet is discarded at the link entrance, never
+    // entering the queue (distinct from a congestion drop).
+    ++fault_drops_;
+    ++sim_.scheduler().counters_mut().fault_drops;
+    return;
+  }
   if (!queue_->enqueue(p, sim_.now())) {
     ++drops_;  // queue overflow: the hop discards the packet
     return;
@@ -43,14 +50,48 @@ void Link::on_serialized() {
   // Serialization end: free the transmitter, launch the propagation leg,
   // and serve the next queued packet.
   busy_ = false;
+  if (fault_ == nullptr) {
+    ++delivered_;
+    bytes_delivered_ += static_cast<std::uint64_t>(tx_pkt_.size_bytes);
+    pipe_.push_back(std::move(tx_pkt_));
+    inflight_hiwater_ = std::max(inflight_hiwater_, in_flight());
+    auto arrive = [this] { on_propagated(); };
+    static_assert(sim::SmallCallback::fits_inline<decltype(arrive)>(),
+                  "link pipeline events must use the inline callback path");
+    sim_.after(delay_, std::move(arrive));
+    pump();
+    return;
+  }
+
+  // Faulted wire: the serialized packet may be lost, duplicated, or jittered
+  // on its propagation leg.  Queue dynamics above are untouched.
+  const LinkFaultHook::WireVerdict v = fault_->wire(tx_pkt_, sim_.now());
+  if (v.lost) {
+    ++fault_drops_;
+    ++sim_.scheduler().counters_mut().fault_drops;
+    pump();
+    return;
+  }
   ++delivered_;
   bytes_delivered_ += static_cast<std::uint64_t>(tx_pkt_.size_bytes);
-  pipe_.push_back(std::move(tx_pkt_));
-  inflight_hiwater_ = std::max(inflight_hiwater_, in_flight());
+  // The pipe pops FIFO, so a jittered arrival must never overtake an earlier
+  // one: clamp each arrival to be monotone in scheduling order.
+  const sim::SimTime jitter = v.extra_delay > 0.0 ? v.extra_delay : 0.0;
+  sim::SimTime arrive_at = sim_.now() + delay_ + jitter;
+  if (arrive_at < last_arrival_) arrive_at = last_arrival_;
+  last_arrival_ = arrive_at;
   auto arrive = [this] { on_propagated(); };
   static_assert(sim::SmallCallback::fits_inline<decltype(arrive)>(),
                 "link pipeline events must use the inline callback path");
-  sim_.after(delay_, std::move(arrive));
+  if (v.duplicated) {
+    ++fault_duplicates_;
+    ++sim_.scheduler().counters_mut().fault_duplicates;
+    pipe_.push_back(tx_pkt_);  // the extra copy; original follows below
+    sim_.at(arrive_at, arrive);
+  }
+  pipe_.push_back(std::move(tx_pkt_));
+  inflight_hiwater_ = std::max(inflight_hiwater_, in_flight());
+  sim_.at(arrive_at, std::move(arrive));
   pump();
 }
 

@@ -33,6 +33,35 @@ namespace rlacast::net {
 
 class Network;
 
+/// Fault-injection hook for one unidirectional link (implemented by
+/// src/fault/; null = pristine link, zero overhead).  The link consults it
+/// at the two points of the pipeline where real impairments act:
+///  * transmit() — interface state: a down link discards offered packets
+///    before they enter the queue (they were never transmitted);
+///  * serialization end — the wire: a serialized packet may be corrupted
+///    (lost), duplicated, or delayed (jitter) on its propagation leg.
+/// Queue dynamics are never touched: congestion drops stay congestion
+/// drops, and fault discards are counted separately (Link::fault_drops(),
+/// stats::EngineCounters::fault_drops).
+class LinkFaultHook {
+ public:
+  virtual ~LinkFaultHook() = default;
+
+  /// Interface state at `now`. Called once per offered packet; a true
+  /// return means that packet is discarded at the link entrance.
+  virtual bool down(sim::SimTime now) = 0;
+
+  struct WireVerdict {
+    bool lost = false;             // corrupted on the wire, never arrives
+    bool duplicated = false;       // one extra copy propagates
+    sim::SimTime extra_delay = 0;  // jitter added to the propagation leg
+  };
+
+  /// Wire verdict for one serialized packet. Called once per packet that
+  /// finishes serialization while the hook is installed.
+  virtual WireVerdict wire(const Packet& p, sim::SimTime now) = 0;
+};
+
 class Link {
  public:
   Link(sim::Simulator& sim, Network& network, NodeId from, NodeId to,
@@ -69,6 +98,17 @@ class Link {
   /// by the hop's bandwidth-delay product plus the serializer).
   std::size_t in_flight_hiwater() const { return inflight_hiwater_; }
 
+  /// Installs (or clears, with nullptr) the fault-injection hook. The hook
+  /// must outlive the link or be cleared before it dies.
+  void set_fault_hook(LinkFaultHook* hook) { fault_ = hook; }
+  const LinkFaultHook* fault_hook() const { return fault_; }
+
+  /// Packets discarded by injected faults (interface outage at transmit()
+  /// plus wire loss at serialization end). Disjoint from drops().
+  std::uint64_t fault_drops() const { return fault_drops_; }
+  /// Extra packet copies delivered because of injected duplication.
+  std::uint64_t fault_duplicates() const { return fault_duplicates_; }
+
  private:
   void pump();
   void on_serialized();
@@ -88,6 +128,11 @@ class Link {
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t drops_ = 0;
+  LinkFaultHook* fault_ = nullptr;
+  sim::SimTime last_arrival_ = 0.0;  // monotone clamp keeping jittered
+                                     // deliveries FIFO (pipe pops in order)
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t fault_duplicates_ = 0;
 };
 
 }  // namespace rlacast::net

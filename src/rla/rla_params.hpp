@@ -93,6 +93,14 @@ struct RlaParams {
   /// made concrete.)
   bool ecn = false;
 
+  /// Silent-receiver (crash) protection: a receiver whose last ACK is more
+  /// than this many seconds in the past is excluded at the next timeout, so
+  /// a crashed receiver cannot freeze the window for the survivors.  The
+  /// check rides the retransmission-timeout path — a silent receiver is
+  /// indistinguishable from total loss until a timeout fires anyway.
+  /// 0 disables (the paper's model: receivers never crash).
+  sim::SimTime silent_drop_after = 0.0;
+
   /// §4.3 option: permanently drop the most congested receiver when its
   /// signal rate dominates (disabled by default, as in the paper's runs).
   bool enable_slow_receiver_drop = false;

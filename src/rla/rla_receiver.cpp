@@ -28,6 +28,7 @@ RlaReceiver::RlaReceiver(net::Network& network, net::NodeId node,
 }
 
 void RlaReceiver::on_receive(const net::Packet& p) {
+  if (silenced_) return;  // crashed host: packets fall on the floor
   if (p.type != net::PacketType::kData) return;
   if (options_.resume_at_first_packet && buf_.cum_ack() == 0 &&
       buf_.highest() == 0 && p.seq > 0)

@@ -49,6 +49,12 @@ class RlaReceiver final : public net::Agent {
 
   void on_receive(const net::Packet& p) override;
 
+  /// Crash fault: a silenced receiver still gets packets (it is still in
+  /// the multicast tree) but processes and acknowledges nothing — exactly
+  /// what the sender sees when a receiver host dies.
+  void set_silenced(bool silenced) { silenced_ = silenced; }
+  bool silenced() const { return silenced_; }
+
   int id() const { return id_; }
   const tcp::ReassemblyBuffer& buffer() const { return buf_; }
   std::uint64_t data_packets_received() const { return received_; }
@@ -72,6 +78,7 @@ class RlaReceiver final : public net::Agent {
   std::uint64_t urgent_requests_ = 0;
   net::SeqNum stuck_cum_ = -1;
   int stuck_acks_ = 0;
+  bool silenced_ = false;
 };
 
 }  // namespace rlacast::rla

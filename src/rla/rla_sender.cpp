@@ -39,7 +39,15 @@ int RlaSender::add_receiver(net::NodeId node, net::PortId port) {
   // receivers, per-packet RTT coverage masks saturate and mark_covered
   // skips the extra indices; everything else scales.)
   rcvrs_.back()->sb.reset(next_seq_);
+  rcvrs_.back()->last_ack_at = sim_.now();  // liveness clock starts at join
   return idx;
+}
+
+int RlaSender::active_receivers() const {
+  int n = 0;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i)
+    if (!census_.excluded(static_cast<int>(i))) ++n;
+  return n;
 }
 
 void RlaSender::remove_receiver(int idx) {
@@ -101,7 +109,12 @@ void RlaSender::on_receive(const net::Packet& p) {
   if (p.type != net::PacketType::kAck) return;
   const int idx = p.receiver_id;
   if (idx < 0 || static_cast<std::size_t>(idx) >= rcvrs_.size()) return;
+  // A stale ACK from a departed/dropped receiver (in flight at leave time,
+  // or a crashed receiver coming back) must not touch frozen scoreboard or
+  // census state.
+  if (census_.excluded(idx)) return;
   ++acks_received_;
+  rcvrs_[static_cast<std::size_t>(idx)]->last_ack_at = sim_.now();
   on_ack(p, *rcvrs_[static_cast<std::size_t>(idx)], idx);
 }
 
@@ -315,8 +328,10 @@ void RlaSender::maybe_retransmit(net::SeqNum seq, int requester_idx,
   restart_timeout_timer();
 
   if (static_cast<int>(missing.size()) > params_.rexmit_thresh && !urgent) {
-    // Multicast repair.
-    for (auto& r : rcvrs_) r->sb.on_retransmit(seq);
+    // Multicast repair. Excluded receivers' scoreboards stay frozen.
+    for (std::size_t i = 0; i < rcvrs_.size(); ++i)
+      if (!census_.excluded(static_cast<int>(i)))
+        rcvrs_[i]->sb.on_retransmit(seq);
     send_data_packet(seq, /*rexmit=*/true, net::kNoNode, 0);
     ++mcast_rexmits_;
   } else {
@@ -332,6 +347,7 @@ void RlaSender::maybe_retransmit(net::SeqNum seq, int requester_idx,
 
 void RlaSender::send_new_data(int budget) {
   if (!started_ || rcvrs_.empty()) return;
+  if (active_receivers() == 0) return;  // nobody left to send to
   // Conservation of packets on the most loaded branch: new data may go out
   // while every receiver's pipe (outstanding, not SACKed, not known-lost-
   // unrepaired) has room under cwnd. This is the fast-recovery behaviour
@@ -409,6 +425,20 @@ void RlaSender::restart_timeout_timer() {
 
 void RlaSender::on_timeout() {
   if (next_seq_ <= max_reach_all_) return;
+
+  // A crashed receiver shows up here first: its ACKs stopped, so the reach-
+  // all frontier froze and the timer fired. Drop everyone silent beyond the
+  // liveness bound; if that alone unfreezes the window there was no real
+  // loss and the survivors need no cut.
+  drop_silent_receivers();
+  if (next_seq_ <= max_reach_all_) return;
+  if (active_receivers() == 0) {
+    // Everyone is gone: there is nobody to repair for. Stop the timer
+    // instead of multicasting retransmissions into the void forever.
+    timeout_timer_.cancel();
+    return;
+  }
+
   meas_.note_timeout();
   meas_.note_congestion_signal();
 
@@ -422,7 +452,8 @@ void RlaSender::on_timeout() {
   ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
   if (repeated) {
     set_cwnd(1.0);
-    for (auto& r : rcvrs_) r->rtt.back_off();
+    for (std::size_t i = 0; i < rcvrs_.size(); ++i)
+      if (!census_.excluded(static_cast<int>(i))) rcvrs_[i]->rtt.back_off();
   } else {
     set_cwnd(std::max(cwnd_ / 2.0, 1.0));
   }
@@ -433,11 +464,33 @@ void RlaSender::on_timeout() {
   auto& info = send_info_[blocking];
   info.last_rexmit = sim_.now();
   info.ever_rexmitted = true;
-  for (auto& r : rcvrs_) r->sb.on_retransmit(blocking);
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i)
+    if (!census_.excluded(static_cast<int>(i)))
+      rcvrs_[i]->sb.on_retransmit(blocking);
   send_data_packet(blocking, /*rexmit=*/true, net::kNoNode, 0);
   ++mcast_rexmits_;
 
   restart_timeout_timer();
+}
+
+void RlaSender::drop_silent_receivers() {
+  if (params_.silent_drop_after <= 0.0) return;
+  bool dropped = false;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    if (census_.excluded(idx)) continue;
+    if (sim_.now() - rcvrs_[i]->last_ack_at > params_.silent_drop_after) {
+      census_.exclude(idx);
+      ++silent_drops_;
+      dropped = true;
+    }
+  }
+  if (!dropped) return;
+  census_.recompute(sim_.now());
+  // The silent receiver was pinning the frontier: recompute it over the
+  // survivors and resume sending into the room that opened.
+  advance_reach_all();
+  send_new_data(params_.max_burst);
 }
 
 void RlaSender::maybe_drop_slowest(int idx) {

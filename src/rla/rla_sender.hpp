@@ -80,6 +80,10 @@ class RlaSender final : public net::Agent {
   std::uint64_t multicast_rexmits() const { return mcast_rexmits_; }
   std::uint64_t unicast_rexmits() const { return ucast_rexmits_; }
   bool receiver_dropped(int rcvr) const { return census_.excluded(rcvr); }
+  /// Receivers excluded by the silent-receiver (crash) protection.
+  std::uint64_t silent_drops() const { return silent_drops_; }
+  /// Receivers still participating (not left, not dropped, not silent).
+  int active_receivers() const;
   double srtt_of(int rcvr) const {
     return rcvrs_[static_cast<std::size_t>(rcvr)]->rtt.srtt();
   }
@@ -94,6 +98,7 @@ class RlaSender final : public net::Agent {
     tcp::Scoreboard sb;
     tcp::RttEstimator rtt;
     sim::SimTime cperiod_start = -1e18;  // far in the past
+    sim::SimTime last_ack_at = 0.0;      // liveness: silent-receiver drop
 
     explicit ReceiverState(const tcp::RttEstimatorParams& rp) : rtt(rp) {}
   };
@@ -125,6 +130,7 @@ class RlaSender final : public net::Agent {
   void send_data_packet(net::SeqNum seq, bool rexmit, net::NodeId unicast_to,
                         net::PortId unicast_port);
   void on_timeout();
+  void drop_silent_receivers();
   void restart_timeout_timer();
   void maybe_drop_slowest(int idx);
   double max_srtt() const;
@@ -159,6 +165,7 @@ class RlaSender final : public net::Agent {
   std::uint64_t acks_received_ = 0;
   std::uint64_t mcast_rexmits_ = 0;
   std::uint64_t ucast_rexmits_ = 0;
+  std::uint64_t silent_drops_ = 0;
 
   stats::FlowMeasurement meas_;
 };

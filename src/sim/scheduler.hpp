@@ -85,6 +85,12 @@ class Scheduler {
   /// slab high-water marks, callback heap fallbacks).
   const stats::EngineCounters& counters() const { return counters_; }
 
+  /// Mutable counter access for engine-adjacent components that account
+  /// through the scheduler's counter block (the links' fault-injection
+  /// drop/duplicate totals live here, beside the queue-drop statistics
+  /// they must stay distinguishable from).
+  stats::EngineCounters& counters_mut() { return counters_; }
+
  private:
   /// Heap key + slab reference. 24 bytes, trivially copyable: sift-up and
   /// sift-down move no callbacks.

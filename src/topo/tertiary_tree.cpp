@@ -4,10 +4,12 @@
 #include <cassert>
 #include <memory>
 
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "rla/rla_receiver.hpp"
 #include "rla/rla_sender.hpp"
 #include "sim/simulator.hpp"
+#include "sim/watchdog.hpp"
 #include "tcp/tcp_receiver.hpp"
 
 namespace rlacast::topo {
@@ -22,6 +24,85 @@ struct LinkRef {
   net::NodeId to;
   int level;   // 1..4
   int index;   // 1-based within its level (L21 = level 2, index 1)
+};
+
+/// Receiver-churn driver for session 0's leaf members. One object on the
+/// runner's stack; its timer callbacks capture only `this` (plus a leaf
+/// index for rejoins), so churn events stay on the scheduler's inline
+/// callback path.
+struct ChurnDriver {
+  sim::Simulator& sim;
+  net::Network& net;
+  rla::RlaSender& sender;
+  std::vector<std::unique_ptr<rla::RlaReceiver>>& owned;
+  std::vector<rla::RlaReceiver*>& by_idx;  // census idx -> receiver
+  const std::array<net::NodeId, 27>& leaf;
+  net::NodeId src;
+  net::GroupId group;
+  net::PortId sender_port;
+  rla::RlaReceiverOptions ropts;  // template for rejoining receivers
+  double mean_interval;
+  sim::SimTime rejoin_after;
+  sim::Rng rng;
+  std::array<int, 27> member{};  // current census idx per leaf, -1 if away
+  net::PortId next_port = 20000;
+  std::uint64_t leaves = 0;
+  std::uint64_t joins = 0;
+  sim::Timer timer;
+
+  ChurnDriver(sim::Simulator& s_, net::Network& n_, rla::RlaSender& snd,
+              std::vector<std::unique_ptr<rla::RlaReceiver>>& own,
+              std::vector<rla::RlaReceiver*>& idx,
+              const std::array<net::NodeId, 27>& lf, net::NodeId src_,
+              net::GroupId g, net::PortId sp, rla::RlaReceiverOptions ro,
+              double mean, sim::SimTime rejoin)
+      : sim(s_),
+        net(n_),
+        sender(snd),
+        owned(own),
+        by_idx(idx),
+        leaf(lf),
+        src(src_),
+        group(g),
+        sender_port(sp),
+        ropts(ro),
+        mean_interval(mean),
+        rejoin_after(rejoin),
+        rng(s_.rng_stream("churn")),
+        timer(s_, [this] { on_fire(); }) {
+    for (int i = 0; i < 27; ++i) member[static_cast<std::size_t>(i)] = i;
+    timer.schedule(rng.exponential(mean_interval));
+  }
+
+  void on_fire() {
+    const int li = static_cast<int>(rng.uniform_int(0, 26));
+    const int idx = member[static_cast<std::size_t>(li)];
+    if (idx >= 0) {
+      // Leave: the sender stops waiting for this member; the old receiver
+      // object is silenced so in-flight data stops generating stale ACKs.
+      sender.remove_receiver(idx);
+      by_idx[static_cast<std::size_t>(idx)]->set_silenced(true);
+      member[static_cast<std::size_t>(li)] = -1;
+      ++leaves;
+      sim.after(rejoin_after, [this, li] { rejoin(li); });
+    }
+    timer.schedule(rng.exponential(mean_interval));
+  }
+
+  void rejoin(int li) {
+    // Fresh late joiner on a fresh port (the departed incarnation keeps its
+    // old port attached; reusing it would alias two agents).
+    const net::NodeId node = leaf[static_cast<std::size_t>(li)];
+    const net::PortId port = next_port++;
+    const int idx = sender.add_receiver(node, port);
+    rla::RlaReceiverOptions ro = ropts;
+    ro.resume_at_first_packet = true;
+    owned.push_back(std::make_unique<rla::RlaReceiver>(
+        net, node, port, group, src, sender_port, idx, ro));
+    by_idx.push_back(owned.back().get());
+    member[static_cast<std::size_t>(li)] = idx;
+    ++joins;
+  }
 };
 
 }  // namespace
@@ -162,6 +243,56 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
     rla_senders.push_back(std::move(sender));
   }
 
+  // --- robustness layer: faults, churn, crash, watchdog -----------------------
+  // Session 0's census-index -> receiver map (positions track add_receiver
+  // order, which churn rejoins preserve).
+  std::vector<rla::RlaReceiver*> sess0_rcvr_by_idx;
+  for (std::size_t i = 0; i < n_rcvrs; ++i)
+    sess0_rcvr_by_idx.push_back(rla_receivers[i].get());
+
+  fault::FaultPlan fault_plan;
+  if (cfg.leaf_fault.any()) {
+    for (const auto& lr : link_refs)
+      if (lr.level == 4) fault_plan.impair(lr.from, lr.to, cfg.leaf_fault);
+    fault_plan.arm(net);
+  }
+
+  std::unique_ptr<ChurnDriver> churn;
+  if (cfg.churn_mean_interval > 0.0) {
+    rla::RlaReceiverOptions churn_ropts;
+    churn_ropts.max_ack_overhead = overhead;
+    churn = std::make_unique<ChurnDriver>(
+        sim, net, *rla_senders.front(), rla_receivers, sess0_rcvr_by_idx,
+        leaf, s, /*group=*/1, /*sender_port=*/1000, churn_ropts,
+        cfg.churn_mean_interval, cfg.churn_rejoin_after);
+  }
+
+  if (cfg.silent_receiver >= 0 &&
+      static_cast<std::size_t>(cfg.silent_receiver) < n_rcvrs) {
+    sim.at(cfg.silent_at, [&sess0_rcvr_by_idx, &cfg] {
+      sess0_rcvr_by_idx[static_cast<std::size_t>(cfg.silent_receiver)]
+          ->set_silenced(true);
+    });
+  }
+
+  std::unique_ptr<sim::Watchdog> watchdog;
+  if (cfg.watchdog) {
+    watchdog = std::make_unique<sim::Watchdog>(sim, 1.0);
+    watchdog->add_check("rla-invariants", [&rla_senders]() -> std::string {
+      for (const auto& m : rla_senders) {
+        if (!(m->cwnd() >= 1.0) || m->cwnd() > m->params().max_cwnd)
+          return "cwnd out of bounds: " + std::to_string(m->cwnd());
+        if (m->max_reach_all() > m->next_seq())
+          return "reach-all frontier beyond send frontier";
+        if (m->num_trouble_rcvr() < 0 ||
+            m->num_trouble_rcvr() > m->active_receivers())
+          return "troubled census exceeds active membership";
+      }
+      return "";
+    });
+    watchdog->start();
+  }
+
   // --- background TCP: one connection from S to every LEAF --------------------
   std::vector<std::unique_ptr<tcp::TcpSender>> tcp_senders;
   std::vector<std::unique_ptr<tcp::TcpReceiver>> tcp_receivers;
@@ -211,6 +342,21 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
   res.num_troubled_final = first.num_trouble_rcvr();
   res.rla_mcast_rexmits = first.multicast_rexmits();
   res.rla_ucast_rexmits = first.unicast_rexmits();
+
+  const fault::FaultTotals ftot = fault_plan.totals();
+  res.fault_wire_losses = ftot.wire_losses;
+  res.fault_outage_drops = ftot.outage_drops;
+  res.fault_duplicates = ftot.duplicates;
+  if (churn) {
+    res.churn_leaves = churn->leaves;
+    res.churn_joins = churn->joins;
+  }
+  res.rla_silent_drops = first.silent_drops();
+  res.active_receivers_final = first.active_receivers();
+  if (watchdog) {
+    res.watchdog_ok = watchdog->ok();
+    res.watchdog_report = watchdog->report();
+  }
 
   // Mark which receivers sit behind a congested hop (Figure 8 grouping).
   res.receiver_congested.assign(n_rcvrs, false);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/red.hpp"
 #include "rla/rla_params.hpp"
 #include "sim/time.hpp"
@@ -60,6 +61,27 @@ struct TreeConfig {
   sim::SimTime window_sample_period = 0.0;
   rla::RlaParams rla{};
   tcp::TcpParams tcp{};
+
+  // --- robustness scenario controls (src/fault/) ---------------------------
+  /// Wire impairment applied to every level-4 forward (downstream) link —
+  /// the access hops, where non-congestion loss lives in the wireless
+  /// multicast setting. Empty (default) arms nothing and the run is
+  /// byte-identical to an unfaulted one.
+  fault::LinkImpairment leaf_fault{};
+  /// Receiver churn for session 0's leaf members: mean interval between
+  /// leave events (exponential, dedicated "churn" stream); 0 disables. The
+  /// departed leaf rejoins as a fresh late-join receiver after
+  /// churn_rejoin_after seconds.
+  double churn_mean_interval = 0.0;
+  sim::SimTime churn_rejoin_after = 5.0;
+  /// Crash fault: silence session 0's receiver at this index (it keeps
+  /// receiving but never ACKs again) at time silent_at. -1 disables.
+  /// Pair with rla.silent_drop_after so the sender sheds it.
+  int silent_receiver = -1;
+  sim::SimTime silent_at = 0.0;
+  /// Arm a sim::Watchdog (1 s period) with RLA invariant checks: window
+  /// bounds, frontier ordering, census sanity, event-horizon progress.
+  bool watchdog = false;
 };
 
 struct TreeResult {
@@ -78,6 +100,17 @@ struct TreeResult {
   /// window_samples[k][s] = session s's cwnd at the k-th sample instant
   /// (only filled when TreeConfig::window_sample_period > 0).
   std::vector<std::vector<double>> window_samples;
+
+  // --- robustness outcomes -------------------------------------------------
+  std::uint64_t fault_wire_losses = 0;   // injected wire losses (all links)
+  std::uint64_t fault_outage_drops = 0;  // discarded at a down interface
+  std::uint64_t fault_duplicates = 0;    // extra copies injected
+  std::uint64_t churn_leaves = 0;        // leave events executed
+  std::uint64_t churn_joins = 0;         // rejoin events executed
+  std::uint64_t rla_silent_drops = 0;    // receivers shed as silent/crashed
+  int active_receivers_final = 0;        // session 0 members still active
+  bool watchdog_ok = true;               // no invariant violations recorded
+  std::string watchdog_report;           // "" when ok
 
   const FlowRow& worst_tcp() const { return tcps[worst_index(tcps)]; }
   const FlowRow& best_tcp() const { return tcps[best_index(tcps)]; }

@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "exp/runner.hpp"
 #include "exp/results.hpp"
@@ -219,6 +221,137 @@ TEST(ExpResults, JsonContainsSchemaFieldsAndEscapes) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ExpRunner, TransientErrorIsRetriedWithRecordedCount) {
+  exp::Grid g;
+  g.master_seed(2).replicates(1);
+  g.add_case("flaky");
+  g.add_case("solid");
+  exp::RunnerOptions opts;
+  opts.jobs = 2;
+  opts.max_retries = 3;
+  opts.retry_backoff_seconds = 0.001;
+
+  std::atomic<int> flaky_calls{0};
+  const auto results = exp::Runner(opts).run(g, [&](const exp::RunSpec& s) {
+    if (s.name == "flaky" && flaky_calls.fetch_add(1) < 2)
+      throw exp::TransientError("spurious");
+    return fake_scenario(s);
+  });
+
+  EXPECT_EQ(flaky_calls.load(), 3);  // 2 failures + 1 success
+  EXPECT_EQ(results.num_errors(), 0u);
+  for (const auto& r : results.runs()) {
+    EXPECT_TRUE(r.ok) << r.spec.id();
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_EQ(r.retries, r.spec.name == "flaky" ? 2 : 0) << r.spec.id();
+  }
+  const std::string json =
+      exp::Results(results.runs()).to_json("unit", 2, 1, 2, 0.0, {});
+  EXPECT_NE(json.find("\"retries\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"timed_out\""), std::string::npos);
+}
+
+TEST(ExpRunner, TransientErrorExhaustsRetriesIntoErrorRow) {
+  exp::Grid g;
+  g.master_seed(2).replicates(1);
+  g.add_case("doomed");
+  exp::RunnerOptions opts;
+  opts.jobs = 1;
+  opts.max_retries = 2;
+  opts.retry_backoff_seconds = 0.001;
+
+  std::atomic<int> calls{0};
+  const auto results =
+      exp::Runner(opts).run(g, [&](const exp::RunSpec&) -> exp::Metrics {
+        calls.fetch_add(1);
+        throw exp::TransientError("always transient");
+      });
+
+  EXPECT_EQ(calls.load(), 3);  // initial attempt + 2 retries
+  ASSERT_EQ(results.runs().size(), 1u);
+  EXPECT_FALSE(results.runs()[0].ok);
+  EXPECT_EQ(results.runs()[0].retries, 2);
+  EXPECT_EQ(results.runs()[0].error, "always transient");
+}
+
+TEST(ExpRunner, DeterministicFailureIsNotRetried) {
+  exp::Grid g;
+  g.master_seed(2).replicates(1);
+  g.add_case("broken");
+  exp::RunnerOptions opts;
+  opts.jobs = 1;
+  opts.max_retries = 5;  // generous budget that must go unused
+
+  std::atomic<int> calls{0};
+  const auto results =
+      exp::Runner(opts).run(g, [&](const exp::RunSpec&) -> exp::Metrics {
+        calls.fetch_add(1);
+        throw std::runtime_error("deterministic bug");
+      });
+
+  EXPECT_EQ(calls.load(), 1);  // a plain exception never retries
+  ASSERT_EQ(results.runs().size(), 1u);
+  EXPECT_FALSE(results.runs()[0].ok);
+  EXPECT_EQ(results.runs()[0].retries, 0);
+  EXPECT_EQ(results.runs()[0].error, "deterministic bug");
+}
+
+TEST(ExpRunner, WedgedRunIsKilledByTimeoutWithoutBlockingOthers) {
+  exp::Grid g;
+  g.master_seed(4).replicates(1);
+  g.add_case("wedged");
+  g.add_case("fine-1");
+  g.add_case("fine-2");
+  exp::RunnerOptions opts;
+  opts.jobs = 2;
+  opts.timeout_seconds = 0.2;
+  opts.max_retries = 3;  // timeouts must NOT consume retries
+
+  std::atomic<int> wedged_calls{0};
+  const auto results = exp::Runner(opts).run(g, [&](const exp::RunSpec& s) {
+    if (s.name == "wedged") {
+      wedged_calls.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    }
+    return fake_scenario(s);
+  });
+
+  EXPECT_EQ(wedged_calls.load(), 1);  // abandoned, never retried
+  ASSERT_EQ(results.runs().size(), 3u);
+  EXPECT_EQ(results.num_errors(), 1u);
+  for (const auto& r : results.runs()) {
+    if (r.spec.name == "wedged") {
+      EXPECT_FALSE(r.ok);
+      EXPECT_TRUE(r.timed_out);
+      EXPECT_EQ(r.retries, 0);
+      EXPECT_NE(r.error.find("timeout"), std::string::npos) << r.error;
+    } else {
+      EXPECT_TRUE(r.ok) << r.spec.id();
+      EXPECT_FALSE(r.timed_out);
+    }
+  }
+  const std::string json =
+      exp::Results(results.runs()).to_json("unit", 4, 1, 2, 0.0, {});
+  EXPECT_NE(json.find("\"timed_out\":true"), std::string::npos);
+  // The abandoned worker thread may still be sleeping when the test body
+  // ends; give it time to drain so its write to `wedged_calls` (and gtest's
+  // teardown) cannot race process exit under TSan.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1600));
+}
+
+TEST(ExpResults, LegacyJsonHasNoRobustnessKeysWhenUnused) {
+  std::vector<exp::RunResult> runs;
+  exp::RunResult ok;
+  ok.spec.name = "plain";
+  ok.ok = true;
+  ok.metrics.set("v", 1.0);
+  runs.push_back(ok);
+  const std::string json =
+      exp::Results(std::move(runs)).to_json("unit", 1, 1, 1, 0.0, {});
+  EXPECT_EQ(json.find("\"retries\""), std::string::npos);
+  EXPECT_EQ(json.find("\"timed_out\""), std::string::npos);
 }
 
 // End-to-end: a real (tiny) tertiary-tree scenario through the pool is

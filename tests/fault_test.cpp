@@ -1,0 +1,292 @@
+// src/fault/ unit tests: impairment semantics on a single link (Bernoulli
+// loss, Gilbert–Elliott burstiness, duplication, jitter FIFO preservation,
+// outages, flapping), counter separation from congestion drops, dedicated
+// RNG streams (empty plan = pristine run, faulted reruns bit-identical).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rlacast {
+namespace {
+
+/// Records delivery times and uids at the far end of a hop.
+class Sink final : public net::Agent {
+ public:
+  void on_receive(const net::Packet& p) override {
+    uids.push_back(p.uid);
+    at.push_back(now_fn ? now_fn() : 0.0);
+  }
+  std::vector<std::uint64_t> uids;
+  std::vector<double> at;
+  std::function<double()> now_fn;
+};
+
+struct Hop {
+  sim::Simulator sim;
+  net::Network net;
+  net::NodeId a, b;
+  Sink sink;
+
+  explicit Hop(std::uint64_t seed = 1) : sim(seed), net(sim) {
+    a = net.add_node();
+    b = net.add_node();
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 8e6;  // 1000-byte packet = 1 ms serialization
+    cfg.delay = 0.01;
+    cfg.buffer_pkts = 50000;  // no congestion drops in these tests
+    net.connect(a, b, cfg);
+    net.build_routes();
+    net.attach(b, 1, &sink);
+    sink.now_fn = [this] { return sim.now(); };
+  }
+
+  net::Link* link() { return net.link_between(a, b); }
+
+  void send(int n) {
+    for (int i = 0; i < n; ++i) {
+      net::Packet p;
+      p.type = net::PacketType::kData;
+      p.src = a;
+      p.dst = b;
+      p.dst_port = 1;
+      p.size_bytes = 1000;
+      net.inject(p);
+    }
+  }
+};
+
+TEST(Fault, EmptyPlanArmsNothing) {
+  fault::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  Hop h;
+  plan.arm(h.net);  // no entries: no hooks installed
+  EXPECT_EQ(h.link()->fault_hook(), nullptr);
+  h.send(50);
+  h.sim.run_all();
+  EXPECT_EQ(h.sink.uids.size(), 50u);
+  EXPECT_EQ(h.link()->fault_drops(), 0u);
+  const auto totals = plan.totals();
+  EXPECT_EQ(totals.offered, 0u);
+}
+
+TEST(Fault, ImpairmentAnyReflectsEveryKnob) {
+  fault::LinkImpairment imp;
+  EXPECT_FALSE(imp.any());
+  imp.loss_p = 0.1;
+  EXPECT_TRUE(imp.any());
+  imp = {};
+  imp.ge.p_good_to_bad = 0.01;
+  EXPECT_TRUE(imp.any());
+  imp = {};
+  imp.duplicate_p = 0.1;
+  EXPECT_TRUE(imp.any());
+  imp = {};
+  imp.max_jitter = 0.001;
+  EXPECT_TRUE(imp.any());
+  imp = {};
+  imp.outages.push_back({1.0, 2.0});
+  EXPECT_TRUE(imp.any());
+  imp = {};
+  imp.flap_mean_up = 1.0;
+  EXPECT_FALSE(imp.any());  // needs both dwell means
+  imp.flap_mean_down = 1.0;
+  EXPECT_TRUE(imp.any());
+}
+
+TEST(Fault, ArmThrowsOnUnknownLink) {
+  Hop h;
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.loss_p = 0.5;
+  plan.impair(h.a, 99, imp);
+  EXPECT_THROW(plan.arm(h.net), std::invalid_argument);
+}
+
+TEST(Fault, BernoulliLossRateAndCounters) {
+  Hop h(7);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.loss_p = 0.2;
+  plan.impair(h.a, h.b, imp);
+  plan.arm(h.net);
+  const int n = 5000;
+  h.send(n);
+  h.sim.run_all();
+
+  const auto totals = plan.totals();
+  EXPECT_EQ(totals.offered, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(h.sink.uids.size() + totals.wire_losses,
+            static_cast<std::uint64_t>(n));
+  // ~20% loss within generous tolerance.
+  EXPECT_NEAR(static_cast<double>(totals.wire_losses) / n, 0.2, 0.03);
+  // Fault drops are counted on the link and mirrored into the engine
+  // counters, and are NOT congestion drops.
+  EXPECT_EQ(h.link()->fault_drops(), totals.wire_losses);
+  EXPECT_EQ(h.sim.scheduler().counters().fault_drops, totals.wire_losses);
+  EXPECT_EQ(h.link()->drops(), 0u);
+}
+
+TEST(Fault, SameSeedRerunsAreBitIdentical) {
+  auto run = [] {
+    Hop h(1234);
+    fault::FaultPlan plan;
+    fault::LinkImpairment imp;
+    imp.loss_p = 0.1;
+    imp.duplicate_p = 0.05;
+    imp.max_jitter = 0.002;
+    plan.impair(h.a, h.b, imp);
+    plan.arm(h.net);
+    h.send(1000);
+    h.sim.run_all();
+    return std::make_pair(h.sink.uids, h.sink.at);
+  };
+  const auto r1 = run();
+  const auto r2 = run();
+  EXPECT_EQ(r1.first, r2.first);
+  EXPECT_EQ(r1.second, r2.second);  // exact double equality: same draws
+}
+
+TEST(Fault, DuplicationDeliversExtraCopies) {
+  Hop h(5);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.duplicate_p = 0.5;
+  plan.impair(h.a, h.b, imp);
+  plan.arm(h.net);
+  const int n = 2000;
+  h.send(n);
+  h.sim.run_all();
+  const auto totals = plan.totals();
+  EXPECT_EQ(h.sink.uids.size(), static_cast<std::uint64_t>(n) + totals.duplicates);
+  EXPECT_NEAR(static_cast<double>(totals.duplicates) / n, 0.5, 0.05);
+  EXPECT_EQ(h.sim.scheduler().counters().fault_duplicates, totals.duplicates);
+}
+
+TEST(Fault, JitterPreservesFifoOrder) {
+  Hop h(9);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.max_jitter = 0.05;  // 50x the serialization time: heavy reordering risk
+  plan.impair(h.a, h.b, imp);
+  plan.arm(h.net);
+  h.send(500);
+  h.sim.run_all();
+  ASSERT_EQ(h.sink.uids.size(), 500u);
+  // Arrival times monotone (the clamp) and uid order preserved (FIFO pipe).
+  for (std::size_t i = 1; i < h.sink.at.size(); ++i) {
+    EXPECT_LE(h.sink.at[i - 1], h.sink.at[i]);
+    EXPECT_LT(h.sink.uids[i - 1], h.sink.uids[i]);
+  }
+}
+
+TEST(Fault, ScheduledOutageDropsAtInterface) {
+  Hop h(3);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.outages.push_back({0.5, 1.5});
+  plan.impair(h.a, h.b, imp);
+  plan.arm(h.net);
+
+  // One packet before, one inside, one after the outage window.
+  auto send_at = [&](double t) {
+    h.sim.at(t, [&] { h.send(1); });
+  };
+  send_at(0.1);
+  send_at(1.0);
+  send_at(2.0);
+  h.sim.run_all();
+
+  EXPECT_EQ(h.sink.uids.size(), 2u);
+  const auto totals = plan.totals();
+  EXPECT_EQ(totals.outage_drops, 1u);
+  EXPECT_EQ(h.link()->fault_drops(), 1u);
+  EXPECT_EQ(h.link()->drops(), 0u);  // never reached the queue
+}
+
+TEST(Fault, GilbertElliottLossIsBurstier) {
+  // Equal average loss (~2%): GE losses cluster, Bernoulli losses spread.
+  // Compare the count of adjacent lost pairs.
+  auto lost_pairs = [](const std::vector<std::uint64_t>& delivered, int n) {
+    std::vector<bool> lost(static_cast<std::size_t>(n) + 1, true);
+    for (auto uid : delivered) lost[static_cast<std::size_t>(uid)] = false;
+    int pairs = 0;
+    for (int i = 2; i <= n; ++i)
+      if (lost[static_cast<std::size_t>(i)] &&
+          lost[static_cast<std::size_t>(i - 1)])
+        ++pairs;
+    return pairs;
+  };
+  const int n = 20000;
+
+  Hop bern(21);
+  {
+    fault::FaultPlan plan;
+    fault::LinkImpairment imp;
+    imp.loss_p = 0.02;
+    plan.impair(bern.a, bern.b, imp);
+    plan.arm(bern.net);
+    bern.send(n);
+    bern.sim.run_all();
+    EXPECT_NEAR(plan.totals().wire_losses / double(n), 0.02, 0.005);
+  }
+  Hop ge(21);
+  {
+    fault::FaultPlan plan;
+    fault::LinkImpairment imp;
+    // Bad 1/10 of the time (0.02/(0.02+0.18)), loss 0.2 while Bad -> 2% avg.
+    imp.ge.p_good_to_bad = 0.02;
+    imp.ge.p_bad_to_good = 0.18;
+    imp.ge.loss_bad = 0.2;
+    plan.impair(ge.a, ge.b, imp);
+    plan.arm(ge.net);
+    ge.send(n);
+    ge.sim.run_all();
+    EXPECT_NEAR(plan.totals().wire_losses / double(n), 0.02, 0.008);
+  }
+  EXPECT_GT(lost_pairs(ge.sink.uids, n), lost_pairs(bern.sink.uids, n));
+}
+
+TEST(Fault, FlappingAlternatesUpAndDown) {
+  Hop h(11);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.flap_mean_up = 0.5;
+  imp.flap_mean_down = 0.5;
+  plan.impair(h.a, h.b, imp);
+  plan.arm(h.net);
+  // Steady trickle across many flap cycles: roughly half get through.
+  for (int i = 0; i < 1000; ++i)
+    h.sim.at(0.01 * i, [&] { h.send(1); });
+  // run_until, not run_all: the flap process re-arms itself forever.
+  h.sim.run_until(20.0);
+  const auto totals = plan.totals();
+  EXPECT_GT(totals.outage_drops, 200u);
+  EXPECT_GT(h.sink.uids.size(), 200u);
+  EXPECT_EQ(h.sink.uids.size() + totals.outage_drops, 1000u);
+}
+
+TEST(Fault, FaultStreamDoesNotPerturbOtherStreams) {
+  // The named fault stream is independent: the draws another component sees
+  // are identical whether or not a fault stream was ever created.
+  sim::Simulator sim_a(42);
+  auto red_a = sim_a.rng_stream("red-1");
+  std::vector<double> draws_a;
+  for (int i = 0; i < 16; ++i) draws_a.push_back(red_a.uniform());
+
+  sim::Simulator sim_b(42);
+  auto fault_b = sim_b.rng_stream("fault-link-0-1");
+  (void)fault_b.uniform();  // consume from the fault stream
+  auto red_b = sim_b.rng_stream("red-1");
+  std::vector<double> draws_b;
+  for (int i = 0; i < 16; ++i) draws_b.push_back(red_b.uniform());
+
+  EXPECT_EQ(draws_a, draws_b);
+}
+
+}  // namespace
+}  // namespace rlacast

@@ -2,7 +2,10 @@
 // num_trouble_rcvr and hence pthresh.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "rla/troubled_census.hpp"
+#include "sim/random.hpp"
 
 namespace rlacast::rla {
 namespace {
@@ -137,6 +140,76 @@ TEST_P(CensusEta, TroubledCountGrowsWithEta) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Etas, CensusEta, ::testing::Values(2.0, 5.0, 10.0, 20.0));
+
+// Fuzz: adversarial signal sequences — bursts, long silences, simultaneous
+// signals, signals at identical timestamps, mid-stream exclusions — must
+// never produce NaN/negative intervals, and num_trouble_rcvr >= 1 whenever
+// any non-excluded receiver has ever signalled (pthresh = p/num_trouble
+// divides by it).
+TEST(Census, FuzzRandomSignalSequencesKeepInvariants) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    TroubledCensus c(20.0, 0.25);
+    for (int i = 0; i < n; ++i) c.add_receiver();
+
+    double now = 0.0;
+    bool any_signal_live = false;
+    for (int step = 0; step < 400; ++step) {
+      // Time advances by anything from 0 (same-instant signals) to a long
+      // silence; bursts arrive with many signals at one instant.
+      const double r = rng.uniform();
+      if (r < 0.3) {
+        // burst: several receivers signal at the same time
+        const int k = static_cast<int>(rng.uniform_int(1, n));
+        for (int j = 0; j < k; ++j) {
+          const int i = static_cast<int>(rng.uniform_int(0, n - 1));
+          c.on_signal(i, now);
+          if (!c.excluded(i)) any_signal_live = true;
+        }
+      } else if (r < 0.85) {
+        const int i = static_cast<int>(rng.uniform_int(0, n - 1));
+        c.on_signal(i, now);
+        if (!c.excluded(i)) any_signal_live = true;
+      } else if (r < 0.9 && n > 1) {
+        // rare mid-stream exclusion (leave / slow-drop / crash)
+        const int i = static_cast<int>(rng.uniform_int(0, n - 1));
+        c.exclude(i);
+        any_signal_live = false;  // recompute below re-derives the truth
+        for (int j = 0; j < n; ++j)
+          if (!c.excluded(j) && c.signals(j) > 0) any_signal_live = true;
+      }
+      now += rng.chance(0.1) ? rng.uniform(50.0, 500.0)  // long silence
+                             : rng.uniform(0.0, 2.0);
+
+      const int troubled = c.recompute(now);
+      ASSERT_GE(troubled, 0) << "seed " << seed << " step " << step;
+      ASSERT_LE(troubled, n);
+      if (any_signal_live) {
+        // The paper's rule: the most congested receiver is always troubled,
+        // so the pthresh denominator never hits zero while signals exist.
+        ASSERT_GE(troubled, 1) << "seed " << seed << " step " << step;
+      }
+      const double min_iv = c.min_interval(now);
+      ASSERT_FALSE(std::isnan(min_iv)) << "seed " << seed;
+      if (any_signal_live) {
+        ASSERT_GE(min_iv, 0.0) << "seed " << seed;
+      }
+      for (int i = 0; i < n; ++i) {
+        const double eff = c.effective_interval(i, now);
+        ASSERT_FALSE(std::isnan(eff)) << "seed " << seed << " rcvr " << i;
+        if (c.excluded(i) || c.signals(i) == 0) {
+          ASSERT_FALSE(c.troubled(i));
+          continue;
+        }
+        ASSERT_GE(eff, 0.0) << "seed " << seed << " rcvr " << i;
+        // Troubled receivers are exactly those within eta of the minimum.
+        ASSERT_EQ(c.troubled(i), eff <= 20.0 * min_iv)
+            << "seed " << seed << " rcvr " << i;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace rlacast::rla

@@ -19,7 +19,7 @@ ctest --test-dir "$ROOT/$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
 mkdir -p "$ROOT/results"
 
 # Benches migrated onto the exp/ runner (accept --jobs/--json).
-exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession bench_engine"
+exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession bench_engine bench_robustness"
 is_exp_bench() {
   local name="$1" b
   for b in $exp_benches; do [ "$b" = "$name" ] && return 0; done
