@@ -21,6 +21,12 @@ using namespace rlacast;
 
 int main(int argc, char** argv) {
   bench::Options opt = bench::parse_options(argc, argv);
+  if (opt.smoke) {
+    // CI-sized pass for the golden-output regression guard
+    // (tests/golden_bench_test.cmake): short run, full case list.
+    opt.duration = 40.0;
+    opt.warmup = 10.0;
+  }
   bench::print_header(
       "Figure 10: generalized RLA with different round-trip times", opt);
 

@@ -39,6 +39,12 @@ void add_rows(stats::Table& t, const std::string& case_name,
 
 int main(int argc, char** argv) {
   bench::Options opt = bench::parse_options(argc, argv);
+  if (opt.smoke) {
+    // CI-sized pass for the golden-output regression guard
+    // (tests/golden_bench_test.cmake): short run, full case list.
+    opt.duration = 40.0;
+    opt.warmup = 10.0;
+  }
   bench::print_header(
       "Figure 8: per-branch congestion-signal statistics (drop-tail)", opt);
 

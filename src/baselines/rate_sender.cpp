@@ -1,8 +1,19 @@
 #include "baselines/rate_sender.hpp"
 
-#include <algorithm>
-
 namespace rlacast::baselines {
+
+namespace {
+
+cc::AimdRateParams rate_params(const RateSenderParams& p) {
+  cc::AimdRateParams rp;
+  rp.initial_rate = p.initial_rate_pps;
+  rp.min_rate = p.min_rate_pps;
+  rp.max_rate = p.max_rate_pps;
+  rp.dead_time = p.dead_time;
+  return rp;
+}
+
+}  // namespace
 
 RateBasedSender::RateBasedSender(net::Network& network, net::NodeId node,
                                  net::PortId port, net::GroupId group,
@@ -14,11 +25,11 @@ RateBasedSender::RateBasedSender(net::Network& network, net::NodeId node,
       group_(group),
       flow_(flow),
       params_(params),
-      rate_(params.initial_rate_pps),
+      rate_(rate_params(params)),
       send_timer_(sim_, [this] { send_next(); }),
       policy_timer_(sim_, [this] { policy_tick(); }) {
   network_.attach(node_, port_, this);
-  rate_mean_.start(0.0, rate_);
+  rate_mean_.start(0.0, rate_.rate());
 }
 
 int RateBasedSender::add_receiver() {
@@ -56,26 +67,21 @@ void RateBasedSender::send_next() {
   p.ts_echo = sim_.now();
   network_.inject(p);
   ++sent_;
-  send_timer_.schedule(1.0 / rate_);
-}
-
-void RateBasedSender::set_rate(double r) {
-  rate_ = std::clamp(r, params_.min_rate_pps, params_.max_rate_pps);
-  rate_mean_.update(sim_.now(), rate_);
+  send_timer_.schedule(1.0 / rate_.rate());
 }
 
 void RateBasedSender::policy_tick() {
-  if (should_cut() && sim_.now() - last_cut_ >= params_.dead_time) {
-    set_rate(rate_ / 2.0);
-    last_cut_ = sim_.now();
-    ++cuts_;
-  } else {
+  // should_cut() runs first even when the dead time would block the cut:
+  // RL-style policies draw from their RNG inside it, and the stream must
+  // advance identically either way.
+  if (!(should_cut() && rate_.try_cut(sim_.now()))) {
     // Linear increase: one packet per RTT per RTT, i.e. slope 1/RTT^2
     // packets per second per second, applied over the update interval.
     const double slope =
         1.0 / (params_.nominal_rtt * params_.nominal_rtt);
-    set_rate(rate_ + slope * params_.update_interval);
+    rate_.increase(slope * params_.update_interval);
   }
+  rate_mean_.update(sim_.now(), rate_.rate());
   policy_timer_.schedule(params_.update_interval);
 }
 

@@ -5,13 +5,16 @@
 // The shared AIMD frame (as §1 describes): with no congestion the rate rises
 // linearly by roughly one packet per RTT (per RTT); upon a congestion
 // decision the rate is halved, and further halvings are suppressed for a
-// dead time.  Subclasses implement the *decision*: LTRC's single loss-rate
-// threshold, MBFC's loss-rate + loss-population double threshold.
+// dead time.  The rate arithmetic itself — halving, dead-time refractory,
+// clamping — is cc::AimdRate; subclasses implement the *decision*: LTRC's
+// single loss-rate threshold, MBFC's loss-rate + loss-population double
+// threshold.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "cc/aimd_rate.hpp"
 #include "net/agent.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -46,9 +49,9 @@ class RateBasedSender : public net::Agent {
 
   void on_receive(const net::Packet& p) override;
 
-  double rate_pps() const { return rate_; }
+  double rate_pps() const { return rate_.rate(); }
   std::uint64_t packets_sent() const { return sent_; }
-  std::uint64_t rate_cuts() const { return cuts_; }
+  std::uint64_t rate_cuts() const { return rate_.cuts(); }
   const stats::TimeWeightedMean& rate_mean() const { return rate_mean_; }
   stats::TimeWeightedMean& rate_mean() { return rate_mean_; }
 
@@ -66,7 +69,6 @@ class RateBasedSender : public net::Agent {
  private:
   void send_next();
   void policy_tick();
-  void set_rate(double r);
 
   net::Network& network_;
   sim::Simulator& sim_;
@@ -77,13 +79,11 @@ class RateBasedSender : public net::Agent {
   RateSenderParams params_;
 
   std::vector<double> reported_loss_;
-  double rate_;
+  cc::AimdRate rate_;
   sim::Timer send_timer_;    // next CBR departure (paced at 1/rate)
   sim::Timer policy_timer_;  // next policy evaluation (update_interval)
-  sim::SimTime last_cut_ = -1e18;
   net::SeqNum next_seq_ = 0;
   std::uint64_t sent_ = 0;
-  std::uint64_t cuts_ = 0;
   bool started_ = false;
   stats::TimeWeightedMean rate_mean_;
 };

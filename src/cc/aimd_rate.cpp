@@ -1,0 +1,21 @@
+#include "cc/aimd_rate.hpp"
+
+#include <algorithm>
+
+namespace rlacast::cc {
+
+void AimdRate::set_rate(double r) {
+  rate_ = std::clamp(r, p_.min_rate, p_.max_rate);
+}
+
+bool AimdRate::try_cut(sim::SimTime now) {
+  if (now - last_cut_ < p_.dead_time) return false;
+  set_rate(rate_ / 2.0);
+  last_cut_ = now;
+  ++cuts_;
+  return true;
+}
+
+void AimdRate::increase(double delta) { set_rate(rate_ + delta); }
+
+}  // namespace rlacast::cc

@@ -1,0 +1,49 @@
+// The rate-based analogue of cc::Window, shared by the baselines/ senders:
+// a rate in packets/s that rises linearly between congestion decisions and
+// halves on one, with a refractory dead time between halvings and a clamp
+// to [min_rate, max_rate]. Subsumes the rate arithmetic LTRC, MBFC, and
+// the random-listening rate controller used to each carry privately — the
+// baselines differ only in the cut *decision*, exactly as the window-based
+// controllers differ only in their LossResponsePolicy.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace rlacast::cc {
+
+struct AimdRateParams {
+  double initial_rate = 10.0;  // packets/s
+  double min_rate = 0.5;
+  double max_rate = 1e6;
+  /// Minimum time between two halvings.
+  sim::SimTime dead_time = 2.0;
+};
+
+class AimdRate {
+ public:
+  explicit AimdRate(const AimdRateParams& p) : p_(p), rate_(p.initial_rate) {}
+
+  double rate() const { return rate_; }
+  std::uint64_t cuts() const { return cuts_; }
+  sim::SimTime last_cut() const { return last_cut_; }
+
+  /// Halves the rate unless a previous cut is still within the dead time.
+  /// Returns whether the cut was applied.
+  bool try_cut(sim::SimTime now);
+
+  /// Additive increase by `delta` packets/s (clamped).
+  void increase(double delta);
+
+  /// Direct override for tests; clamps to [min_rate, max_rate].
+  void set_rate(double r);
+
+ private:
+  AimdRateParams p_;
+  double rate_;
+  sim::SimTime last_cut_ = -1e18;
+  std::uint64_t cuts_ = 0;
+};
+
+}  // namespace rlacast::cc

@@ -1,0 +1,52 @@
+#include "cc/loss_policy.hpp"
+
+#include "cc/window.hpp"
+
+namespace rlacast::cc {
+
+bool apply_cut_action(Window& win, const LossResponsePolicy& policy,
+                      CutAction action) {
+  switch (action) {
+    case CutAction::kNone:
+      return false;
+    case CutAction::kHalve:
+    case CutAction::kForcedHalve:
+      win.halve(policy.halve_floor());
+      return true;
+    case CutAction::kCollapse:
+      win.collapse_to_one();
+      return true;
+  }
+  return false;
+}
+
+CutAction TcpSackPolicy::on_signal(const SignalContext& ctx) {
+  (void)ctx;
+  return CutAction::kHalve;
+}
+
+CutAction TcpSackPolicy::on_timeout(bool repeated_stall) {
+  (void)repeated_stall;  // TCP treats every RTO as a full collapse
+  return CutAction::kCollapse;
+}
+
+CutAction TcpRenoPolicy::on_signal(const SignalContext& ctx) {
+  (void)ctx;
+  return CutAction::kHalve;
+}
+
+CutAction TcpRenoPolicy::on_timeout(bool repeated_stall) {
+  (void)repeated_stall;
+  return CutAction::kCollapse;
+}
+
+CutAction TcpTahoePolicy::on_signal(const SignalContext& ctx) {
+  return ctx.from_ecn ? CutAction::kHalve : CutAction::kCollapse;
+}
+
+CutAction TcpTahoePolicy::on_timeout(bool repeated_stall) {
+  (void)repeated_stall;
+  return CutAction::kCollapse;
+}
+
+}  // namespace rlacast::cc

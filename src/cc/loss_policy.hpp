@@ -1,0 +1,100 @@
+// Pluggable loss-response policies: what a sender DOES about a congestion
+// signal, decoupled from how the window moves (cc::Window) and from how
+// signals are detected and grouped (Scoreboard + SignalGrouper).
+//
+// Every controller in the repo answers the same two questions —
+//   "a grouped congestion signal arrived; cut?"  (on_signal)
+//   "the retransmission timer fired; how hard?"  (on_timeout)
+// — with a CutAction the sender then applies to its cc::Window. TCP's
+// variants differ only in the signal response (SACK/Reno halve, Tahoe
+// collapses unless the signal is a lossless ECN echo); RLA differs in
+// *which* signals it obeys: untroubled receivers are ignored, a stale cut
+// forces a halving, everything else is the §3.3 randomized-listening draw
+// (see cc::RlaPolicy).
+//
+// Policies are plain objects constructed once per sender: no per-event
+// allocation (engine_alloc_test counts), no virtual calls on the data path
+// beyond the one dispatch per grouped signal.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rlacast::cc {
+
+/// What the sender should do to its window right now.
+enum class CutAction {
+  kNone,         // ignore the signal (RLA: not listening this time)
+  kHalve,        // multiplicative decrease (Window::halve)
+  kForcedHalve,  // same cut, but by RLA's forced-cut guard (stats differ)
+  kCollapse      // cwnd -> 1, slow-start restart (Window::collapse_to_one)
+};
+
+/// Everything a policy may consult about the signal it is judging. TCP
+/// policies only look at from_ecn; RlaPolicy uses the rest. Filling unused
+/// fields costs nothing and keeps the dispatch monomorphic.
+struct SignalContext {
+  sim::SimTime now = 0.0;
+  int receiver = 0;          // index of the signalling receiver
+  double srtt = 0.0;         // that receiver's smoothed RTT
+  double srtt_max = 0.0;     // largest smoothed RTT across active receivers
+  double awnd = 0.0;         // EWMA of cwnd (forced-cut guard length)
+  sim::SimTime last_cut = -1e18;  // time of the session's last window cut
+  bool from_ecn = false;     // signal is an ECN echo, not a loss
+};
+
+class LossResponsePolicy {
+ public:
+  virtual ~LossResponsePolicy() = default;
+
+  /// Judges one grouped congestion signal.
+  virtual CutAction on_signal(const SignalContext& ctx) = 0;
+
+  /// Judges a retransmission-timeout expiry. `repeated_stall` is true when
+  /// the timer fired again without any forward progress since the last
+  /// expiry (TCP: always treated as repeated; RLA: first expiry per stalled
+  /// packet is a tail-loss probe).
+  virtual CutAction on_timeout(bool repeated_stall) = 0;
+
+  /// Lower bound handed to Window::halve() for this controller's cuts:
+  /// TCP recovery floors at 2 (the window lands on ssthresh), RLA at 1.
+  virtual double halve_floor() const = 0;
+};
+
+class Window;
+
+/// Applies a policy verdict to the window: kHalve/kForcedHalve is
+/// Window::halve(policy.halve_floor()), kCollapse is collapse_to_one().
+/// Returns false for kNone (the window was not touched), so callers can
+/// gate their cwnd bookkeeping on it.
+bool apply_cut_action(Window& win, const LossResponsePolicy& policy,
+                      CutAction action);
+
+/// SACK TCP: every loss episode and ECN echo is one halving; a timeout
+/// collapses the window.
+class TcpSackPolicy final : public LossResponsePolicy {
+ public:
+  CutAction on_signal(const SignalContext& ctx) override;
+  CutAction on_timeout(bool repeated_stall) override;
+  double halve_floor() const override { return 2.0; }
+};
+
+/// Reno: identical cut decisions to SACK (the dupack-count trigger and the
+/// window-inflation mechanics live in the sender, not the policy).
+class TcpRenoPolicy final : public LossResponsePolicy {
+ public:
+  CutAction on_signal(const SignalContext& ctx) override;
+  CutAction on_timeout(bool repeated_stall) override;
+  double halve_floor() const override { return 2.0; }
+};
+
+/// Tahoe: no fast recovery — a loss collapses the window to 1. An ECN echo
+/// carries no loss to repair, so it is honoured as a plain halving (same
+/// behaviour as the other variants on the lossless path).
+class TcpTahoePolicy final : public LossResponsePolicy {
+ public:
+  CutAction on_signal(const SignalContext& ctx) override;
+  CutAction on_timeout(bool repeated_stall) override;
+  double halve_floor() const override { return 2.0; }
+};
+
+}  // namespace rlacast::cc

@@ -1,0 +1,47 @@
+#include "cc/rla_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlacast::cc {
+
+double RlaPolicy::pthresh(double srtt_i, double srtt_max) const {
+  if (p_.fixed_pthresh >= 0.0) return p_.fixed_pthresh;
+  const int n = std::max(census_.num_troubled(), 1);
+  double f = 1.0;
+  if (p_.rtt_exponent > 0.0) {
+    if (srtt_max > 0.0) {
+      const double x = std::clamp(srtt_i / srtt_max, 0.0, 1.0);
+      f = std::pow(x, p_.rtt_exponent);
+    }
+  }
+  // The fairness weight divides the listening probability (w emulated
+  // flows each hear 1/w of the signals aimed at the aggregate).
+  return std::clamp(f / (static_cast<double>(n) * p_.fairness_weight),
+                    0.0, 1.0);
+}
+
+CutAction RlaPolicy::on_signal(const SignalContext& ctx) {
+  // Rule 3, step 1: rare losses from untroubled receivers are ignored.
+  if (!census_.troubled(ctx.receiver)) return CutAction::kNone;
+
+  // Step 2: forced-cut — protect against arbitrarily long cut-free runs.
+  const double guard_srtt =
+      p_.rtt_exponent > 0.0 ? ctx.srtt_max : ctx.srtt;
+  if (ctx.now - ctx.last_cut > p_.forced_cut_factor * ctx.awnd * guard_srtt)
+    return CutAction::kForcedHalve;
+
+  // Step 3: randomized-cut — listen with probability pthresh. The draw
+  // happens exactly here and nowhere else, so the listening RNG stream is
+  // consumed once per non-forced troubled signal (byte-identical replay
+  // depends on this).
+  if (rng_.uniform() <= pthresh(ctx.srtt, ctx.srtt_max))
+    return CutAction::kHalve;
+  return CutAction::kNone;
+}
+
+CutAction RlaPolicy::on_timeout(bool repeated_stall) {
+  return repeated_stall ? CutAction::kCollapse : CutAction::kHalve;
+}
+
+}  // namespace rlacast::cc

@@ -1,0 +1,57 @@
+// The Random Listening Algorithm's loss response (§3.3 rule 3), as a
+// cc::LossResponsePolicy.
+//
+// On a grouped signal from receiver i:
+//   1. skip if i is not in the troubled census (rare loss);
+//   2. forced-cut if the last cut is more than forced_cut_factor * awnd *
+//      guard_srtt in the past — guard_srtt is srtt_i for the original RLA,
+//      but srtt_max under the generalized pthresh (k > 0), where a
+//      short-RTT receiver signalling often would otherwise bypass the
+//      f(srtt_i/srtt_max) discount rule 3 just applied;
+//   3. otherwise listen with probability
+//        pthresh = f(srtt_i / srtt_max) / (num_trouble_rcvr * w),
+//      f(x) = x^k. k = 0 is the paper's equal-RTT RLA (pthresh = 1/n);
+//      k = 2 is the generalized RLA of §5.3; w is the fairness weight.
+//
+// Timeouts: first expiry for a stalled packet is a tail-loss probe (halve);
+// a repeated stall on the same packet collapses TCP-style.
+//
+// The policy draws from the sender's dedicated listening RNG stream and
+// reads (never writes) the sender's TroubledCensus; both are borrowed by
+// reference, so constructing a policy allocates nothing.
+#pragma once
+
+#include "cc/loss_policy.hpp"
+#include "cc/troubled_census.hpp"
+#include "sim/random.hpp"
+
+namespace rlacast::cc {
+
+struct RlaPolicyParams {
+  double forced_cut_factor = 2.0;
+  double rtt_exponent = 0.0;  // k of f(x) = x^k
+  double fairness_weight = 1.0;
+  double fixed_pthresh = -1.0;  // >= 0 overrides the formula (ablation)
+};
+
+class RlaPolicy final : public LossResponsePolicy {
+ public:
+  RlaPolicy(const RlaPolicyParams& p, const TroubledCensus& census,
+            sim::Rng& listen_rng)
+      : p_(p), census_(census), rng_(listen_rng) {}
+
+  CutAction on_signal(const SignalContext& ctx) override;
+  CutAction on_timeout(bool repeated_stall) override;
+  double halve_floor() const override { return 1.0; }
+
+  /// The current listening probability for a receiver with smoothed RTT
+  /// `srtt_i` (pure; exposed for observability and direct unit tests).
+  double pthresh(double srtt_i, double srtt_max) const;
+
+ private:
+  RlaPolicyParams p_;
+  const TroubledCensus& census_;
+  sim::Rng& rng_;
+};
+
+}  // namespace rlacast::cc

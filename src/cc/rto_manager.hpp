@@ -1,0 +1,42 @@
+// Retransmission-timeout timer management on the engine's in-place timers.
+//
+// One RtoManager per sender session. TCP re-arms it with its single
+// estimator's rto(); the RLA sender re-arms it with the max rto over its
+// active receivers (the session stalls only when the SLOWEST receiver has
+// clearly gone quiet). Karn's exponential backoff lives in RttEstimator —
+// per peer, because the RLA sender backs off each receiver's estimator
+// individually on a repeated stall — so this class is deliberately just the
+// arm/re-arm/cancel surface over sim::Timer.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace rlacast::cc {
+
+class RtoManager {
+ public:
+  RtoManager(sim::Simulator& sim, std::function<void()> on_timeout)
+      : timer_(sim, std::move(on_timeout)) {}
+
+  /// (Re)arms the timer to fire `rto` seconds from now — the "restart on
+  /// every ACK that leaves data outstanding" rule.
+  void restart(sim::SimTime rto) { timer_.schedule(rto); }
+
+  /// Arms only if nothing is pending (first packet of a burst must not
+  /// push out an already-running timer).
+  void ensure_armed(sim::SimTime rto) {
+    if (!timer_.armed()) timer_.schedule(rto);
+  }
+
+  void cancel() { timer_.cancel(); }
+  bool armed() const { return timer_.armed(); }
+  sim::SimTime expiry() const { return timer_.expiry(); }
+
+ private:
+  sim::Timer timer_;
+};
+
+}  // namespace rlacast::cc

@@ -1,0 +1,67 @@
+// Jacobson/Karels round-trip-time estimation and RTO computation,
+// with Karn's rule applied by the caller (samples from retransmitted
+// packets are never fed in).
+//
+// This is the single estimator both the TCP sender (one instance) and the
+// RLA sender (one instance per receiver) use; RttEstimatorParams is the one
+// place the shared defaults live, so a tuning change cannot silently
+// diverge the two controllers.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace rlacast::cc {
+
+struct RttEstimatorParams {
+  double alpha = 0.125;  // srtt gain (RFC 6298)
+  double beta = 0.25;    // rttvar gain
+  sim::SimTime min_rto = 0.2;
+  sim::SimTime max_rto = 64.0;
+  sim::SimTime initial_rto = 3.0;
+};
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(RttEstimatorParams p = {}) : p_(p), rto_(p.initial_rto) {}
+
+  void add_sample(sim::SimTime rtt) {
+    if (!valid_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2.0;
+      valid_ = true;
+    } else {
+      rttvar_ += p_.beta * (std::abs(srtt_ - rtt) - rttvar_);
+      srtt_ += p_.alpha * (rtt - srtt_);
+    }
+    rto_ = std::clamp(srtt_ + 4.0 * rttvar_, p_.min_rto, p_.max_rto);
+    backoff_ = 1.0;
+  }
+
+  /// Exponential backoff after a retransmission timeout.
+  void back_off() { backoff_ = std::min(backoff_ * 2.0, 64.0); }
+
+  /// Clears the backoff without a new sample — called on forward progress
+  /// (cumulative ACK advance), since Karn's rule blocks samples from
+  /// retransmitted packets and would otherwise pin the timer at its
+  /// backed-off value after a timeout-driven recovery.
+  void reset_backoff() { backoff_ = 1.0; }
+
+  sim::SimTime rto() const {
+    return std::min(rto_ * backoff_, p_.max_rto);
+  }
+  sim::SimTime srtt() const { return valid_ ? srtt_ : p_.initial_rto / 2.0; }
+  sim::SimTime rttvar() const { return rttvar_; }
+  bool valid() const { return valid_; }
+
+ private:
+  RttEstimatorParams p_;
+  bool valid_ = false;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  double rto_;
+  double backoff_ = 1.0;
+};
+
+}  // namespace rlacast::cc

@@ -1,8 +1,8 @@
-#include "tcp/scoreboard.hpp"
+#include "cc/scoreboard.hpp"
 
 #include <cassert>
 
-namespace rlacast::tcp {
+namespace rlacast::cc {
 
 void Scoreboard::on_send(net::SeqNum seq) {
   assert(seq == high_ && "new packets must be sent in order");
@@ -120,4 +120,4 @@ void Scoreboard::reset(net::SeqNum next_seq) {
   pipe_ = 0;
 }
 
-}  // namespace rlacast::tcp
+}  // namespace rlacast::cc

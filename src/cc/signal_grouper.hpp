@@ -1,0 +1,60 @@
+// Congestion-signal grouping: both controllers honour at most one signal
+// per "buffer period", they just define the period differently.
+//
+//   * TCP (fast recovery): all losses below the recovery point — the send
+//     frontier at cut time — belong to one episode; the next cut needs
+//     una to pass that sequence number first.
+//   * RLA (§3.3 rule 2): all losses from receiver i within grouping_rtts *
+//     srtt_i of the congestion-period start are one signal; the next period
+//     opens only strictly after that window.
+//
+// One SignalGrouper instance per signal source: the TCP sender holds one
+// (sequence mode), the RLA sender one per receiver (time mode).
+#pragma once
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace rlacast::cc {
+
+class SignalGrouper {
+ public:
+  // --- sequence-window episodes (TCP fast recovery) ------------------------
+  bool in_episode() const { return in_episode_; }
+  net::SeqNum episode_end() const { return recovery_point_; }
+
+  /// Closes the episode once the cumulative point passes the recovery
+  /// point. Call before consulting in_episode() on an ACK.
+  void refresh(net::SeqNum una) {
+    if (in_episode_ && una >= recovery_point_) in_episode_ = false;
+  }
+
+  /// Opens a new episode ending at the current send frontier.
+  void open_episode(net::SeqNum high) {
+    in_episode_ = true;
+    recovery_point_ = high;
+  }
+
+  /// Unconditional close (RTO recovery abandons the episode).
+  void close_episode() { in_episode_ = false; }
+
+  // --- time-window periods (RLA §3.3 rule 2) -------------------------------
+  /// Returns true — and starts a new congestion period at `now` — iff `now`
+  /// lies strictly beyond the previous period's grouping window of length
+  /// `span` (= grouping_rtts * srtt_i). Otherwise the loss joins the
+  /// current period's single signal.
+  bool try_open_period(sim::SimTime now, sim::SimTime span) {
+    if (now <= period_start_ + span) return false;
+    period_start_ = now;
+    return true;
+  }
+
+  sim::SimTime period_start() const { return period_start_; }
+
+ private:
+  bool in_episode_ = false;
+  net::SeqNum recovery_point_ = 0;
+  sim::SimTime period_start_ = -1e18;  // far in the past
+};
+
+}  // namespace rlacast::cc

@@ -1,8 +1,8 @@
-#include "rla/troubled_census.hpp"
+#include "cc/troubled_census.hpp"
 
 #include <algorithm>
 
-namespace rlacast::rla {
+namespace rlacast::cc {
 
 int TroubledCensus::add_receiver() {
   rcvrs_.emplace_back(gain_);
@@ -64,4 +64,4 @@ int TroubledCensus::recompute(sim::SimTime now) {
   return num_troubled_;
 }
 
-}  // namespace rlacast::rla
+}  // namespace rlacast::cc

@@ -1,0 +1,84 @@
+// Troubled-receiver census (§3.3 rule 6).
+//
+// num_trouble_rcvr is the dynamic count of receivers whose congestion-signal
+// rate is within a factor η of the most congested receiver's.  Concretely,
+// each receiver carries an EWMA of the intervals between its congestion
+// signals; with min_congestion_interval the smallest such average over all
+// receivers, receiver i is *troubled* iff
+//
+//     effective_interval_i < eta * min_congestion_interval .
+//
+// Two practical refinements over the paper's one-line description (both
+// documented in DESIGN.md):
+//  * a receiver whose EWMA has no sample yet (fewer than two signals) uses
+//    the elapsed time since its single signal, so the very first loss of a
+//    session still counts (num_trouble >= 1 whenever anyone signals);
+//  * the effective interval is max(EWMA, time since last signal), so a
+//    receiver whose congestion ended ages out of the census instead of
+//    staying troubled on stale history.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/ewma.hpp"
+
+namespace rlacast::cc {
+
+class TroubledCensus {
+ public:
+  TroubledCensus(double eta, double interval_gain)
+      : eta_(eta), gain_(interval_gain) {}
+
+  /// Registers one more receiver; returns its index.
+  int add_receiver();
+
+  std::size_t receiver_count() const { return rcvrs_.size(); }
+
+  /// Records a congestion signal from receiver `i` at time `now`.
+  void on_signal(int i, sim::SimTime now);
+
+  /// Permanently removes receiver `i` from the census (§4.3 slow-drop).
+  void exclude(int i);
+  bool excluded(int i) const { return rcvrs_[static_cast<std::size_t>(i)].excluded; }
+
+  /// Recomputes all troubled flags as of `now`; returns num_trouble_rcvr.
+  int recompute(sim::SimTime now);
+
+  bool troubled(int i) const { return rcvrs_[static_cast<std::size_t>(i)].troubled; }
+  int num_troubled() const { return num_troubled_; }
+
+  /// Smallest effective interval across receivers; <0 when nobody has
+  /// signalled yet.
+  double min_interval(sim::SimTime now) const;
+
+  /// The per-receiver effective congestion-signal interval (see above);
+  /// returns a negative value when the receiver has never signalled.
+  double effective_interval(int i, sim::SimTime now) const;
+
+  std::uint64_t signals(int i) const { return rcvrs_[static_cast<std::size_t>(i)].signals; }
+  std::uint64_t total_signals() const { return total_signals_; }
+  sim::SimTime last_signal_time(int i) const {
+    return rcvrs_[static_cast<std::size_t>(i)].last_signal;
+  }
+
+ private:
+  struct Rcvr {
+    stats::Ewma interval;
+    sim::SimTime last_signal = sim::kNever;
+    std::uint64_t signals = 0;
+    bool troubled = false;
+    bool excluded = false;
+
+    explicit Rcvr(double gain) : interval(gain) {}
+  };
+
+  double eta_;
+  double gain_;
+  std::vector<Rcvr> rcvrs_;
+  int num_troubled_ = 0;
+  std::uint64_t total_signals_ = 0;
+};
+
+}  // namespace rlacast::cc

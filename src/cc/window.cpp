@@ -1,0 +1,37 @@
+#include "cc/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlacast::cc {
+
+void Window::clamp() { cwnd_ = std::clamp(cwnd_, 1.0, p_.max_cwnd); }
+
+void Window::grow(std::int64_t newly_acked) {
+  for (std::int64_t k = 0; k < newly_acked; ++k) {
+    if (cwnd_ < ssthresh_)
+      cwnd_ += 1.0;  // slow start
+    else
+      cwnd_ += p_.fairness_weight / std::floor(cwnd_);  // cong. avoidance
+  }
+  clamp();
+}
+
+void Window::halve(double cwnd_floor) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = std::max(cwnd_ / 2.0, cwnd_floor);
+  clamp();
+}
+
+void Window::collapse_to_one() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  clamp();
+}
+
+void Window::set_cwnd(double w) {
+  cwnd_ = w;
+  clamp();
+}
+
+}  // namespace rlacast::cc

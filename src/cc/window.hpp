@@ -1,0 +1,66 @@
+// The congestion window shared by every window-based sender in the repo.
+//
+// The paper's central framing (§3.3) is that RLA is "TCP-like in its window
+// dynamics": the two controllers differ only in WHICH congestion signals
+// they obey, never in how the window grows, halves, or clamps. This class
+// is that guarantee made structural — slow start, the congestion-avoidance
+// increment (including the fairness_weight generalization), the
+// multiplicative cut, ssthresh management, and the [1, max_cwnd] clamp
+// exist exactly once, here.
+//
+// Numerical contract: grow(n) performs n sequential per-ACK increments and
+// clamps once at the end. For n == 1 (TCP: one increment per ACK) this is
+// bit-identical to the historical increment-then-clamp; for n > 1 (RLA:
+// one batch per reach-all advance) it reproduces the historical
+// accumulate-then-clamp loop. Do not "optimize" the loop into a closed
+// form — byte-identical bench output depends on the FP operation order.
+#pragma once
+
+#include <cstdint>
+
+namespace rlacast::cc {
+
+struct WindowParams {
+  double initial_cwnd = 1.0;
+  double initial_ssthresh = 64.0;
+  double max_cwnd = 1e6;  // receiver window, packets
+  /// Scales the congestion-avoidance increment (w emulated flows probe w
+  /// packets per RTT, MulTCP-style). 1.0 = plain TCP / the paper's RLA.
+  double fairness_weight = 1.0;
+};
+
+class Window {
+ public:
+  explicit Window(const WindowParams& p)
+      : p_(p), cwnd_(p.initial_cwnd), ssthresh_(p.initial_ssthresh) {}
+
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  const WindowParams& params() const { return p_; }
+
+  /// Applies `newly_acked` per-ACK growth steps: +1 in slow start,
+  /// +fairness_weight/floor(cwnd) in congestion avoidance.
+  void grow(std::int64_t newly_acked);
+
+  /// Multiplicative decrease: ssthresh = max(cwnd/2, 2) and
+  /// cwnd = max(cwnd/2, cwnd_floor). TCP recovery uses floor 2 (the window
+  /// lands on ssthresh); RLA's randomized/forced cut uses floor 1.
+  void halve(double cwnd_floor);
+
+  /// Timeout collapse: ssthresh = max(cwnd/2, 2), cwnd = 1 (slow-start
+  /// restart).
+  void collapse_to_one();
+
+  /// Direct override for tests and ablations; clamps to [1, max_cwnd].
+  void set_cwnd(double w);
+
+ private:
+  void clamp();
+
+  WindowParams p_;
+  double cwnd_;
+  double ssthresh_;
+};
+
+}  // namespace rlacast::cc

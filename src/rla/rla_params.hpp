@@ -4,9 +4,9 @@
 
 #include <cstdint>
 
+#include "cc/rtt_estimator.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
-#include "tcp/rtt_estimator.hpp"
 
 namespace rlacast::rla {
 
@@ -83,6 +83,9 @@ struct RlaParams {
 
   /// Random per-packet sender processing time, Uniform(0, max): §3.1's
   /// phase-effect elimination for drop-tail gateways. 0 disables.
+  /// Competing flows must use the same bound as
+  /// TcpParams::max_send_overhead — unequal jitter quietly biases the
+  /// fairness ratio (the topo/ builders assert this).
   sim::SimTime max_send_overhead = 0.0;
 
   /// ECN: mark data ECN-capable; an echoed CE from receiver i enters the
@@ -109,7 +112,9 @@ struct RlaParams {
   double slow_drop_fraction = 0.9;
   std::uint64_t slow_drop_min_signals = 200;
 
-  tcp::RttEstimatorParams rtt{};
+  /// Estimator tuning; the shared TCP/RLA defaults live in
+  /// cc/rtt_estimator.hpp.
+  cc::RttEstimatorParams rtt{};
 };
 
 }  // namespace rlacast::rla

@@ -19,13 +19,20 @@ RlaSender::RlaSender(net::Network& network, net::NodeId node, net::PortId port,
              sim_.rng_stream("rla-overhead-" + std::to_string(flow)),
              params.max_send_overhead),
       listen_rng_(sim_.rng_stream("rla-listen-" + std::to_string(flow))),
-      timeout_timer_(sim_, [this] { on_timeout(); }),
+      rto_(sim_, [this] { on_timeout(); }),
       census_(params.eta, params.signal_interval_gain),
-      cwnd_(params.initial_cwnd),
-      ssthresh_(params.initial_ssthresh),
+      policy_(cc::RlaPolicyParams{.forced_cut_factor = params.forced_cut_factor,
+                                  .rtt_exponent = params.rtt_exponent,
+                                  .fairness_weight = params.fairness_weight,
+                                  .fixed_pthresh = params.fixed_pthresh},
+              census_, listen_rng_),
+      win_(cc::WindowParams{.initial_cwnd = params.initial_cwnd,
+                            .initial_ssthresh = params.initial_ssthresh,
+                            .max_cwnd = params.max_cwnd,
+                            .fairness_weight = params.fairness_weight}),
       awnd_(params.initial_cwnd) {
   network_.attach(node_, port_, this);
-  meas_.note_cwnd(0.0, cwnd_);
+  meas_.note_cwnd(0.0, win_.cwnd());
 }
 
 int RlaSender::add_receiver(net::NodeId node, net::PortId port) {
@@ -38,7 +45,7 @@ int RlaSender::add_receiver(net::NodeId node, net::PortId port) {
   // max_reach_all below the already-acknowledged prefix. (Beyond 64
   // receivers, per-packet RTT coverage masks saturate and mark_covered
   // skips the extra indices; everything else scales.)
-  rcvrs_.back()->sb.reset(next_seq_);
+  rcvrs_.back()->peer.sb.reset(next_seq_);
   rcvrs_.back()->last_ack_at = sim_.now();  // liveness clock starts at join
   return idx;
 }
@@ -64,7 +71,7 @@ void RlaSender::remove_receiver(int idx) {
 void RlaSender::start_at(sim::SimTime when) {
   sim_.at(when, [this] {
     started_ = true;
-    meas_.note_cwnd(sim_.now(), cwnd_);
+    meas_.note_cwnd(sim_.now(), win_.cwnd());
     send_new_data(params_.max_burst);
   });
 }
@@ -73,7 +80,7 @@ net::SeqNum RlaSender::min_last_ack() const {
   net::SeqNum m = next_seq_;
   for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
     if (census_.excluded(static_cast<int>(i))) continue;
-    m = std::min(m, rcvrs_[i]->sb.una());
+    m = std::min(m, rcvrs_[i]->peer.sb.una());
   }
   return m;
 }
@@ -82,27 +89,13 @@ double RlaSender::max_srtt() const {
   double m = 0.0;
   for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
     if (census_.excluded(static_cast<int>(i))) continue;
-    m = std::max(m, rcvrs_[i]->rtt.srtt());
+    m = std::max(m, rcvrs_[i]->peer.rtt.srtt());
   }
   return m;
 }
 
 double RlaSender::pthresh_for(int rcvr) const {
-  if (params_.fixed_pthresh >= 0.0) return params_.fixed_pthresh;
-  const int n = std::max(census_.num_troubled(), 1);
-  double f = 1.0;
-  if (params_.rtt_exponent > 0.0) {
-    const double smax = max_srtt();
-    if (smax > 0.0) {
-      const double x = std::clamp(
-          rcvrs_[static_cast<std::size_t>(rcvr)]->rtt.srtt() / smax, 0.0, 1.0);
-      f = std::pow(x, params_.rtt_exponent);
-    }
-  }
-  // The fairness weight divides the listening probability (w emulated
-  // flows each hear 1/w of the signals aimed at the aggregate).
-  return std::clamp(f / (static_cast<double>(n) * params_.fairness_weight),
-                    0.0, 1.0);
+  return policy_.pthresh(srtt_of(rcvr), max_srtt());
 }
 
 void RlaSender::on_receive(const net::Packet& p) {
@@ -127,25 +120,23 @@ void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
   if (ack.seq != net::kNoSeq && ack.ts_echo > 0.0) {
     const auto it = send_info_.find(ack.seq);
     const bool clean = it == send_info_.end() || !it->second.ever_rexmitted;
-    if (clean && !r.sb.was_retransmitted(ack.seq))
-      r.rtt.add_sample(sim_.now() - ack.ts_echo);
+    if (clean && !r.peer.sb.was_retransmitted(ack.seq))
+      r.peer.rtt.add_sample(sim_.now() - ack.ts_echo);
   }
 
-  if (r.sb.advance(ack.ack) > 0) r.rtt.reset_backoff();
-  r.sb.apply_sack(ack.sack.data(), ack.n_sack);
+  if (r.peer.sb.advance(ack.ack) > 0) r.peer.rtt.reset_backoff();
+  r.peer.sb.apply_sack(ack.sack.data(), ack.n_sack);
   mark_covered(ack, idx);
-  const int new_losses = r.sb.detect_losses(params_.dupthresh);
+  const int new_losses = r.peer.sb.detect_losses(params_.dupthresh);
 
   // Rule 2: a new congestion period only starts beyond 2*srtt_i of the last
   // one; losses inside the window are grouped into the same signal. An ECN
   // echo is a congestion indication of equal rank — it enters the same
   // grouping, so a mark plus losses in one buffer period stay one signal.
   if (new_losses > 0 || (params_.ecn && ack.ece)) {
-    const double srtt = r.rtt.srtt();
-    if (sim_.now() > r.cperiod_start + params_.grouping_rtts * srtt) {
-      r.cperiod_start = sim_.now();
+    const double srtt = r.peer.rtt.srtt();
+    if (r.grouper.try_open_period(sim_.now(), params_.grouping_rtts * srtt))
       handle_congestion_signal(r, idx);
-    }
   }
 
   // A lost *retransmission* would otherwise only be recoverable by the full
@@ -153,12 +144,12 @@ void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
   // repair has clearly failed (no ACK within this receiver's RTO of it).
   if (!census_.excluded(idx)) {
     const net::SeqNum hol = first_missing(r);
-    if (hol < r.sb.high() && r.sb.is_lost(hol) &&
-        r.sb.was_retransmitted(hol)) {
+    if (hol < r.peer.sb.high() && r.peer.sb.is_lost(hol) &&
+        r.peer.sb.was_retransmitted(hol)) {
       const auto it = send_info_.find(hol);
       if (it != send_info_.end() &&
-          sim_.now() - it->second.last_rexmit > r.rtt.rto())
-        r.sb.clear_retransmitted(hol);
+          sim_.now() - it->second.last_rexmit > r.peer.rtt.rto())
+        r.peer.sb.clear_retransmitted(hol);
     }
   }
 
@@ -168,7 +159,7 @@ void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
   // nobody's problem anymore.)
   net::SeqNum s;
   while (!census_.excluded(idx) &&
-         (s = r.sb.next_to_retransmit()) != net::kNoSeq)
+         (s = r.peer.sb.next_to_retransmit()) != net::kNoSeq)
     maybe_retransmit(s, idx, ack.urgent_rexmit_request);
 
   // New data is clocked by reach-all advances (inside advance_reach_all),
@@ -180,7 +171,7 @@ void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
   // shrank some pipe still triggers a conservation send below, or recovery
   // could stall the session.
   advance_reach_all();
-  if (r.sb.lost_count() > 0) send_new_data(params_.max_burst);
+  if (r.peer.sb.lost_count() > 0) send_new_data(params_.max_burst);
 }
 
 void RlaSender::handle_congestion_signal(ReceiverState& r, int idx) {
@@ -189,37 +180,22 @@ void RlaSender::handle_congestion_signal(ReceiverState& r, int idx) {
   census_.recompute(sim_.now());
   maybe_drop_slowest(idx);
 
-  // Rule 3, step 1: rare losses from untroubled receivers are ignored.
-  if (!census_.troubled(idx)) return;
-
-  // Step 2: forced-cut — protect against arbitrarily long cut-free runs.
-  // Under the generalized pthresh (heterogeneous RTTs), the guard interval
-  // uses the session's largest srtt: a short-RTT receiver signals often and
-  // a per-receiver guard would bypass the f(srtt_i/srtt_max) discount that
-  // rule 3 just applied.
-  const double guard_srtt =
-      params_.rtt_exponent > 0.0 ? max_srtt() : r.rtt.srtt();
-  if (sim_.now() - last_window_cut_ >
-      params_.forced_cut_factor * awnd_ * guard_srtt) {
-    cut_window(/*forced=*/true);
-    return;
+  // The §3.3 cut rules — troubled-census consult, forced-cut guard,
+  // randomized listening — live in cc::RlaPolicy.
+  cc::SignalContext ctx;
+  ctx.now = sim_.now();
+  ctx.receiver = idx;
+  ctx.srtt = r.peer.rtt.srtt();
+  ctx.srtt_max = max_srtt();
+  ctx.awnd = awnd_;
+  ctx.last_cut = last_window_cut_;
+  const cc::CutAction action = policy_.on_signal(ctx);
+  if (cc::apply_cut_action(win_, policy_, action)) {
+    meas_.note_cwnd(sim_.now(), win_.cwnd());
+    last_window_cut_ = sim_.now();
+    meas_.note_window_cut();
+    if (action == cc::CutAction::kForcedHalve) meas_.note_forced_cut();
   }
-
-  // Step 3: randomized-cut — listen with probability pthresh.
-  if (listen_rng_.uniform() <= pthresh_for(idx)) cut_window(/*forced=*/false);
-}
-
-void RlaSender::cut_window(bool forced) {
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  set_cwnd(std::max(cwnd_ / 2.0, 1.0));
-  last_window_cut_ = sim_.now();
-  meas_.note_window_cut();
-  if (forced) meas_.note_forced_cut();
-}
-
-void RlaSender::set_cwnd(double w) {
-  cwnd_ = std::clamp(w, 1.0, params_.max_cwnd);
-  meas_.note_cwnd(sim_.now(), cwnd_);
 }
 
 std::uint64_t RlaSender::active_mask() const {
@@ -259,8 +235,8 @@ void RlaSender::mark_covered(const net::Packet& ack, int idx) {
 }
 
 net::SeqNum RlaSender::first_missing(const ReceiverState& r) const {
-  net::SeqNum s = r.sb.una();
-  while (s < r.sb.high() && r.sb.is_sacked(s)) ++s;
+  net::SeqNum s = r.peer.sb.una();
+  while (s < r.peer.sb.high() && r.peer.sb.is_sacked(s)) ++s;
   return s;
 }
 
@@ -274,16 +250,9 @@ void RlaSender::advance_reach_all() {
 
   const std::int64_t m = reach - max_reach_all_;
   // Rule 4: growth is driven by packets acknowledged by ALL receivers.
-  // The fairness weight scales congestion-avoidance growth (w emulated
-  // flows probe w packets per RTT).
-  for (std::int64_t k = 0; k < m; ++k) {
-    if (cwnd_ < ssthresh_)
-      cwnd_ += 1.0;
-    else
-      cwnd_ += params_.fairness_weight / std::floor(cwnd_);
-  }
-  set_cwnd(cwnd_);
-  awnd_ += params_.awnd_gain * (cwnd_ - awnd_);
+  win_.grow(m);
+  meas_.note_cwnd(sim_.now(), win_.cwnd());
+  awnd_ += params_.awnd_gain * (win_.cwnd() - awnd_);
   meas_.note_acked(m);
 
   // RTT sampling happens in mark_one() the instant the last receiver's ACK
@@ -303,7 +272,8 @@ void RlaSender::maybe_retransmit(net::SeqNum seq, int requester_idx,
   if (!urgent && sim_.now() - info.last_rexmit < guard) {
     // Mark per-receiver so next_to_retransmit() makes progress; the packet
     // is already on its way (or will be re-repaired after the guard).
-    rcvrs_[static_cast<std::size_t>(requester_idx)]->sb.on_retransmit(seq);
+    rcvrs_[static_cast<std::size_t>(requester_idx)]->peer.sb.on_retransmit(
+        seq);
     return;
   }
 
@@ -311,14 +281,15 @@ void RlaSender::maybe_retransmit(net::SeqNum seq, int requester_idx,
   std::vector<int> missing;
   for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
     if (census_.excluded(static_cast<int>(i))) continue;
-    const auto& sb = rcvrs_[i]->sb;
+    const auto& sb = rcvrs_[i]->peer.sb;
     if (seq >= sb.una() && seq < sb.high() && !sb.is_sacked(seq))
       missing.push_back(static_cast<int>(i));
   }
   if (missing.empty()) {
     // Nobody (still in the session) is missing it; mark the requester's
     // scoreboard so its retransmit scan makes progress.
-    rcvrs_[static_cast<std::size_t>(requester_idx)]->sb.on_retransmit(seq);
+    rcvrs_[static_cast<std::size_t>(requester_idx)]->peer.sb.on_retransmit(
+        seq);
     return;
   }
 
@@ -331,14 +302,14 @@ void RlaSender::maybe_retransmit(net::SeqNum seq, int requester_idx,
     // Multicast repair. Excluded receivers' scoreboards stay frozen.
     for (std::size_t i = 0; i < rcvrs_.size(); ++i)
       if (!census_.excluded(static_cast<int>(i)))
-        rcvrs_[i]->sb.on_retransmit(seq);
+        rcvrs_[i]->peer.sb.on_retransmit(seq);
     send_data_packet(seq, /*rexmit=*/true, net::kNoNode, 0);
     ++mcast_rexmits_;
   } else {
     // Unicast repair to each requester (or just the urgent one).
     for (int i : missing) {
       auto& r = *rcvrs_[static_cast<std::size_t>(i)];
-      r.sb.on_retransmit(seq);
+      r.peer.sb.on_retransmit(seq);
       send_data_packet(seq, /*rexmit=*/true, r.node, r.port);
       ++ucast_rexmits_;
     }
@@ -358,16 +329,15 @@ void RlaSender::send_new_data(int budget) {
   std::int64_t max_pipe = 0;
   for (std::size_t i = 0; i < rcvrs_.size(); ++i)
     if (!census_.excluded(static_cast<int>(i)))
-      max_pipe = std::max(max_pipe, rcvrs_[i]->sb.pipe());
+      max_pipe = std::max(max_pipe, rcvrs_[i]->peer.sb.pipe());
+  const auto cwnd = static_cast<std::int64_t>(win_.cwnd());
   // Quantized release: wait until a burst's worth of slots is free, then
   // send back-to-back. The quantum is capped at half the window so small
   // windows (session start, post-timeout) still flow.
-  const std::int64_t quantum =
-      std::min<std::int64_t>(params_.send_quantum,
-                             std::max<std::int64_t>(1, static_cast<std::int64_t>(cwnd_) / 2));
-  if (static_cast<std::int64_t>(cwnd_) - max_pipe < quantum) return;
-  while (budget-- > 0 && next_seq_ < by_buffer &&
-         max_pipe < static_cast<std::int64_t>(cwnd_)) {
+  const std::int64_t quantum = std::min<std::int64_t>(
+      params_.send_quantum, std::max<std::int64_t>(1, cwnd / 2));
+  if (cwnd - max_pipe < quantum) return;
+  while (budget-- > 0 && next_seq_ < by_buffer && max_pipe < cwnd) {
     // Increment first: the retransmission timer armed inside
     // send_data_packet must see the packet as outstanding, or the very
     // first packet of a session races the timer and a startup loss would
@@ -402,25 +372,26 @@ void RlaSender::send_data_packet(net::SeqNum seq, bool rexmit,
     // Excluded receivers' scoreboards are frozen — they must not keep
     // accumulating outstanding-packet state for the rest of the session.
     for (std::size_t i = 0; i < rcvrs_.size(); ++i)
-      if (!census_.excluded(static_cast<int>(i))) rcvrs_[i]->sb.on_send(seq);
+      if (!census_.excluded(static_cast<int>(i)))
+        rcvrs_[i]->peer.sb.on_send(seq);
     send_info_[seq] = SendInfo{sim_.now(), false, -1e18};
   }
 
   pacer_.send(p);
-  if (!timeout_timer_.armed()) restart_timeout_timer();
+  if (!rto_.armed()) restart_timeout_timer();
 }
 
 void RlaSender::restart_timeout_timer() {
   if (next_seq_ <= max_reach_all_) {
-    timeout_timer_.cancel();
+    rto_.cancel();
     return;
   }
   double rto = 0.0;
   for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
     if (census_.excluded(static_cast<int>(i))) continue;
-    rto = std::max(rto, rcvrs_[i]->rtt.rto());
+    rto = std::max(rto, rcvrs_[i]->peer.rtt.rto());
   }
-  timeout_timer_.schedule(std::max(rto, params_.rtt.min_rto));
+  rto_.restart(std::max(rto, params_.rtt.min_rto));
 }
 
 void RlaSender::on_timeout() {
@@ -435,7 +406,7 @@ void RlaSender::on_timeout() {
   if (active_receivers() == 0) {
     // Everyone is gone: there is nobody to repair for. Stop the timer
     // instead of multicasting retransmissions into the void forever.
-    timeout_timer_.cancel();
+    rto_.cancel();
     return;
   }
 
@@ -449,14 +420,13 @@ void RlaSender::on_timeout() {
   // them from dominating when a retransmission is itself lost.)
   const bool repeated = max_reach_all_ == timeout_blocking_;
   timeout_blocking_ = max_reach_all_;
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  if (repeated) {
-    set_cwnd(1.0);
+  const cc::CutAction action = policy_.on_timeout(repeated);
+  cc::apply_cut_action(win_, policy_, action);
+  meas_.note_cwnd(sim_.now(), win_.cwnd());
+  if (action == cc::CutAction::kCollapse)
     for (std::size_t i = 0; i < rcvrs_.size(); ++i)
-      if (!census_.excluded(static_cast<int>(i))) rcvrs_[i]->rtt.back_off();
-  } else {
-    set_cwnd(std::max(cwnd_ / 2.0, 1.0));
-  }
+      if (!census_.excluded(static_cast<int>(i)))
+        rcvrs_[i]->peer.rtt.back_off();
   last_window_cut_ = sim_.now();
   meas_.note_window_cut();
 
@@ -466,7 +436,7 @@ void RlaSender::on_timeout() {
   info.ever_rexmitted = true;
   for (std::size_t i = 0; i < rcvrs_.size(); ++i)
     if (!census_.excluded(static_cast<int>(i)))
-      rcvrs_[i]->sb.on_retransmit(blocking);
+      rcvrs_[i]->peer.sb.on_retransmit(blocking);
   send_data_packet(blocking, /*rexmit=*/true, net::kNoNode, 0);
   ++mcast_rexmits_;
 

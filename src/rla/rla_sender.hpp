@@ -16,11 +16,17 @@
 //      receivers (slow start: cwnd += 1 while cwnd < ssthresh).
 //   5. Window bounds — trailing edge follows max_reach_all; leading edge
 //      never beyond min_last_ack + receiver buffer.
-//   6. Troubled census — see TroubledCensus (η = 20).
+//   6. Troubled census — see cc::TroubledCensus (η = 20).
 //
 // pthresh = f(srtt_i/srtt_max) / num_trouble_rcvr with f(x) = x^k; k = 0 is
 // the original equal-RTT RLA (pthresh = 1/n), k = 2 the generalized RLA of
 // §5.3 for heterogeneous round-trip times.
+//
+// The window arithmetic lives in cc::Window, the §3.3 cut rules in
+// cc::RlaPolicy, the per-receiver {scoreboard, RTT estimator} bundle in
+// cc::PeerState (the same bundle the TCP sender holds once), and the signal
+// grouping in cc::SignalGrouper — so "TCP-like window dynamics" is enforced
+// by construction, not by parallel implementations.
 //
 // Retransmissions go by multicast when more than rexmit_thresh receivers
 // miss the packet, else by unicast to each requester.
@@ -31,14 +37,17 @@
 #include <memory>
 #include <vector>
 
+#include "cc/peer_state.hpp"
+#include "cc/rla_policy.hpp"
+#include "cc/rto_manager.hpp"
+#include "cc/signal_grouper.hpp"
+#include "cc/window.hpp"
 #include "net/agent.hpp"
 #include "net/network.hpp"
 #include "rla/rla_params.hpp"
 #include "rla/troubled_census.hpp"
 #include "sim/simulator.hpp"
 #include "stats/flow_measurement.hpp"
-#include "tcp/rtt_estimator.hpp"
-#include "tcp/scoreboard.hpp"
 
 namespace rlacast::rla {
 
@@ -65,9 +74,9 @@ class RlaSender final : public net::Agent {
   void on_receive(const net::Packet& p) override;
 
   // --- observability ---------------------------------------------------------
-  double cwnd() const { return cwnd_; }
+  double cwnd() const { return win_.cwnd(); }
   double awnd() const { return awnd_; }
-  double ssthresh() const { return ssthresh_; }
+  double ssthresh() const { return win_.ssthresh(); }
   net::SeqNum min_last_ack() const;
   net::SeqNum max_reach_all() const { return max_reach_all_; }
   net::SeqNum next_seq() const { return next_seq_; }
@@ -85,7 +94,7 @@ class RlaSender final : public net::Agent {
   /// Receivers still participating (not left, not dropped, not silent).
   int active_receivers() const;
   double srtt_of(int rcvr) const {
-    return rcvrs_[static_cast<std::size_t>(rcvr)]->rtt.srtt();
+    return rcvrs_[static_cast<std::size_t>(rcvr)]->peer.rtt.srtt();
   }
   stats::FlowMeasurement& measurement() { return meas_; }
   const stats::FlowMeasurement& measurement() const { return meas_; }
@@ -95,12 +104,13 @@ class RlaSender final : public net::Agent {
   struct ReceiverState {
     net::NodeId node;
     net::PortId port;
-    tcp::Scoreboard sb;
-    tcp::RttEstimator rtt;
-    sim::SimTime cperiod_start = -1e18;  // far in the past
-    sim::SimTime last_ack_at = 0.0;      // liveness: silent-receiver drop
+    /// The same {scoreboard, RTT estimator} bundle TcpSender holds once.
+    cc::PeerState peer;
+    /// §3.3 rule-2 congestion-period grouping (time mode).
+    cc::SignalGrouper grouper;
+    sim::SimTime last_ack_at = 0.0;  // liveness: silent-receiver drop
 
-    explicit ReceiverState(const tcp::RttEstimatorParams& rp) : rtt(rp) {}
+    explicit ReceiverState(const cc::RttEstimatorParams& rp) : peer(rp) {}
   };
 
   /// Bookkeeping for every packet at or above max_reach_all.
@@ -122,8 +132,6 @@ class RlaSender final : public net::Agent {
   void mark_one(net::SeqNum seq, SendInfo& info, std::uint64_t bit);
   std::uint64_t active_mask() const;
   void handle_congestion_signal(ReceiverState& r, int idx);
-  void cut_window(bool forced);
-  void set_cwnd(double w);
   void advance_reach_all();
   void maybe_retransmit(net::SeqNum seq, int requester_idx, bool urgent);
   void send_new_data(int budget);
@@ -146,13 +154,13 @@ class RlaSender final : public net::Agent {
 
   net::SendPacer pacer_;
   sim::Rng listen_rng_;  // the π draws of the random listening decision
-  sim::Timer timeout_timer_;
+  cc::RtoManager rto_;
 
   std::vector<std::unique_ptr<ReceiverState>> rcvrs_;
   TroubledCensus census_;
+  cc::RlaPolicy policy_;  // borrows census_ and listen_rng_: declare after
+  cc::Window win_;
 
-  double cwnd_;
-  double ssthresh_;
   double awnd_;
   sim::SimTime last_window_cut_ = -1e18;
   net::SeqNum next_seq_ = 0;

@@ -1,96 +1,13 @@
-// Sender-side SACK scoreboard.
-//
-// Tracks, for every outstanding packet in [una, high), whether it has been
-// selectively acknowledged, declared lost, or retransmitted — the state
-// needed for SACK-based loss detection (a packet is lost once dupthresh
-// packets above it have been SACKed; the paper uses the same rule: "at least
-// three higher"), for the pipe estimate used during recovery, and for Karn's
-// rule when taking RTT samples.
-//
-// Shared by the TCP sender and (one instance per receiver) the RLA sender.
+// Moved to cc/scoreboard.hpp: the SACK scoreboard is shared by the TCP
+// sender (one instance) and the RLA sender (one per receiver), so it lives
+// in the congestion-control core. This alias keeps the historical tcp::
+// spelling working for existing includes.
 #pragma once
 
-#include <cstdint>
-#include <map>
-
-#include "net/packet.hpp"
+#include "cc/scoreboard.hpp"
 
 namespace rlacast::tcp {
 
-class Scoreboard {
- public:
-  /// Lowest outstanding sequence number (cumulative ACK point).
-  net::SeqNum una() const { return una_; }
-
-  /// Next sequence number after the highest transmitted one.
-  net::SeqNum high() const { return high_; }
-
-  /// Registers transmission of a new packet (must be == high()).
-  void on_send(net::SeqNum seq);
-
-  /// Registers a retransmission of an outstanding packet.
-  void on_retransmit(net::SeqNum seq);
-
-  /// Forgets that `seq` was retransmitted, making it eligible for
-  /// next_to_retransmit() again — used when a retransmission is itself
-  /// presumed lost (no ACK within an RTO of the repair).
-  void clear_retransmitted(net::SeqNum seq);
-
-  /// Advances the cumulative point; forgets state below it.
-  /// Returns the number of packets newly acknowledged.
-  std::int64_t advance(net::SeqNum new_una);
-
-  /// Applies SACK blocks. Returns the number of newly SACKed packets.
-  int apply_sack(const net::SackBlock* blocks, int n_blocks);
-
-  /// Marks as lost every unSACKed packet with >= dupthresh SACKed packets
-  /// above it. Returns the number of packets newly marked.
-  int detect_losses(int dupthresh);
-
-  /// Marks every unSACKed outstanding packet as lost and clears their
-  /// retransmitted flags (RTO recovery restarts from scratch).
-  void mark_all_lost();
-
-  bool is_sacked(net::SeqNum seq) const;
-  bool is_lost(net::SeqNum seq) const;
-  bool was_retransmitted(net::SeqNum seq) const;
-
-  /// Lowest lost-and-not-yet-retransmitted packet; kNoSeq if none.
-  net::SeqNum next_to_retransmit() const;
-
-  /// Conservation-of-packets estimate of the number in flight:
-  /// outstanding, not SACKed, and (not lost or retransmitted).
-  /// Maintained incrementally — O(1) — because the RLA sender consults one
-  /// pipe per receiver on every send decision.
-  std::int64_t pipe() const { return pipe_; }
-
-  /// Number of outstanding packets (high - una).
-  std::int64_t outstanding() const { return high_ - una_; }
-
-  std::int64_t sacked_count() const { return sacked_count_; }
-  std::int64_t lost_count() const { return lost_count_; }
-
-  /// Drops all per-packet state (session restart in tests).
-  void reset(net::SeqNum next_seq);
-
- private:
-  struct State {
-    bool sacked = false;
-    bool lost = false;
-    bool rexmitted = false;
-  };
-
-  /// In-pipe predicate: not SACKed and (not lost, or repaired).
-  static bool in_pipe(const State& st) {
-    return !st.sacked && (!st.lost || st.rexmitted);
-  }
-
-  std::map<net::SeqNum, State> pkts_;  // only seqs in [una_, high_)
-  net::SeqNum una_ = 0;
-  net::SeqNum high_ = 0;
-  std::int64_t sacked_count_ = 0;
-  std::int64_t lost_count_ = 0;  // lost and not SACKed since
-  std::int64_t pipe_ = 0;
-};
+using Scoreboard = cc::Scoreboard;
 
 }  // namespace rlacast::tcp

@@ -1,10 +1,24 @@
 #include "tcp/tcp_sender.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <string>
 
 namespace rlacast::tcp {
+
+namespace {
+
+std::unique_ptr<cc::LossResponsePolicy> make_policy(TcpVariant variant) {
+  switch (variant) {
+    case TcpVariant::kSack:
+      return std::make_unique<cc::TcpSackPolicy>();
+    case TcpVariant::kReno:
+      return std::make_unique<cc::TcpRenoPolicy>();
+    case TcpVariant::kTahoe:
+      return std::make_unique<cc::TcpTahoePolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 TcpSender::TcpSender(net::Network& network, net::NodeId node, net::PortId port,
                      net::NodeId dst_node, net::PortId dst_port,
@@ -20,32 +34,40 @@ TcpSender::TcpSender(net::Network& network, net::NodeId node, net::PortId port,
       pacer_(sim_, network,
              sim_.rng_stream("tcp-overhead-" + std::to_string(flow)),
              params.max_send_overhead),
-      rtt_(params.rtt),
-      rexmit_timer_(sim_, [this] { on_timeout(); }),
-      cwnd_(params.initial_cwnd),
-      ssthresh_(params.initial_ssthresh) {
+      peer_(params.rtt),
+      win_(cc::WindowParams{.initial_cwnd = params.initial_cwnd,
+                            .initial_ssthresh = params.initial_ssthresh,
+                            .max_cwnd = params.max_cwnd}),
+      rto_(sim_, [this] { on_timeout(); }),
+      policy_(make_policy(params.variant)) {
   network_.attach(node_, port_, this);
-  meas_.note_cwnd(0.0, cwnd_);
+  meas_.note_cwnd(0.0, win_.cwnd());
 }
 
 void TcpSender::start_at(sim::SimTime when) {
   sim_.at(when, [this] {
     started_ = true;
-    meas_.note_cwnd(sim_.now(), cwnd_);
+    meas_.note_cwnd(sim_.now(), win_.cwnd());
     send_what_we_can();
   });
 }
 
-void TcpSender::set_cwnd(double w) {
-  cwnd_ = std::clamp(w, 1.0, params_.max_cwnd);
-  meas_.note_cwnd(sim_.now(), cwnd_);
+cc::SignalContext TcpSender::signal_ctx(bool from_ecn) const {
+  cc::SignalContext ctx;
+  ctx.now = sim_.now();
+  ctx.srtt = peer_.rtt.srtt();
+  ctx.from_ecn = from_ecn;
+  return ctx;
+}
+
+void TcpSender::apply_cut(cc::CutAction action) {
+  if (cc::apply_cut_action(win_, *policy_, action))
+    meas_.note_cwnd(sim_.now(), win_.cwnd());
 }
 
 void TcpSender::grow_window() {
-  if (cwnd_ < ssthresh_)
-    set_cwnd(cwnd_ + 1.0);  // slow start
-  else
-    set_cwnd(cwnd_ + 1.0 / std::floor(cwnd_));  // congestion avoidance
+  win_.grow(1);
+  meas_.note_cwnd(sim_.now(), win_.cwnd());
 }
 
 void TcpSender::on_receive(const net::Packet& p) {
@@ -56,29 +78,27 @@ void TcpSender::on_ack(const net::Packet& ack) {
   // --- RTT sampling, Karn's rule: skip samples echoed off retransmissions.
   // The receiver echoes (in ack.seq) the data seq that triggered this ACK
   // and (in ack.ts_echo) that packet's send timestamp.
-  if (ack.seq != net::kNoSeq && !sb_.was_retransmitted(ack.seq) &&
+  if (ack.seq != net::kNoSeq && !peer_.sb.was_retransmitted(ack.seq) &&
       ack.ts_echo > 0.0) {
     const double sample = sim_.now() - ack.ts_echo;
-    rtt_.add_sample(sample);
+    peer_.rtt.add_sample(sample);
     meas_.note_rtt(sim_.now(), sample);
   }
 
   // --- cumulative advance (common to all variants).
-  const std::int64_t newly_acked = sb_.advance(ack.ack);
+  const std::int64_t newly_acked = peer_.sb.advance(ack.ack);
   if (newly_acked > 0) {
     meas_.note_acked(newly_acked);
-    rtt_.reset_backoff();  // forward progress clears timeout backoff (Karn)
+    peer_.rtt.reset_backoff();  // forward progress clears backoff (Karn)
   }
 
   // ECN: an echoed CE mark is a congestion signal, honoured at most once
   // per recovery episode (like a loss, but with nothing to retransmit).
   if (params_.ecn && ack.ece) {
-    if (in_recovery_ && sb_.una() >= recovery_point_) in_recovery_ = false;
-    if (!in_recovery_) {
-      in_recovery_ = true;
-      recovery_point_ = sb_.high();
-      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-      set_cwnd(ssthresh_);
+    grouper_.refresh(peer_.sb.una());
+    if (!grouper_.in_episode()) {
+      grouper_.open_episode(peer_.sb.high());
+      apply_cut(policy_->on_signal(signal_ctx(/*from_ecn=*/true)));
       meas_.note_congestion_signal();
       meas_.note_window_cut();
     }
@@ -94,59 +114,57 @@ void TcpSender::on_ack(const net::Packet& ack) {
       break;
   }
 
-  if (sb_.outstanding() > 0)
+  if (peer_.sb.outstanding() > 0)
     restart_rexmit_timer();
   else
-    rexmit_timer_.cancel();
+    rto_.cancel();
 
   send_what_we_can();
 }
 
 void TcpSender::on_ack_sack(const net::Packet& ack,
                             std::int64_t newly_acked) {
-  sb_.apply_sack(ack.sack.data(), ack.n_sack);
-  const int new_losses = sb_.detect_losses(params_.dupthresh);
+  peer_.sb.apply_sack(ack.sack.data(), ack.n_sack);
+  const int new_losses = peer_.sb.detect_losses(params_.dupthresh);
 
   // Recovery state machine: one halving per loss episode.
-  if (in_recovery_ && sb_.una() >= recovery_point_) in_recovery_ = false;
-  if (new_losses > 0 && !in_recovery_) {
-    in_recovery_ = true;
-    recovery_point_ = sb_.high();
-    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-    set_cwnd(ssthresh_);
+  grouper_.refresh(peer_.sb.una());
+  if (new_losses > 0 && !grouper_.in_episode()) {
+    grouper_.open_episode(peer_.sb.high());
+    apply_cut(policy_->on_signal(signal_ctx(/*from_ecn=*/false)));
     meas_.note_congestion_signal();
     meas_.note_window_cut();
   }
 
   // Window growth (not during recovery, per ns-2 sack1).
-  if (newly_acked > 0 && !in_recovery_) grow_window();
+  if (newly_acked > 0 && !grouper_.in_episode()) grow_window();
 }
 
 void TcpSender::on_ack_reno(const net::Packet& ack,
                             std::int64_t newly_acked) {
   (void)ack;  // Reno/Tahoe ignore the SACK blocks entirely
   if (newly_acked == 0) {
-    if (sb_.outstanding() == 0) return;  // stray ACK
+    if (peer_.sb.outstanding() == 0) return;  // stray ACK
     ++dupacks_;
-    if (!in_recovery_ && dupacks_ == params_.dupthresh) {
+    if (!grouper_.in_episode() && dupacks_ == params_.dupthresh) {
       // Fast retransmit.
       meas_.note_congestion_signal();
       meas_.note_window_cut();
-      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-      sb_.on_retransmit(sb_.una());
-      send_packet(sb_.una(), /*rexmit=*/true);
-      if (params_.variant == TcpVariant::kTahoe) {
+      peer_.sb.on_retransmit(peer_.sb.una());
+      send_packet(peer_.sb.una(), /*rexmit=*/true);
+      const cc::CutAction action =
+          policy_->on_signal(signal_ctx(/*from_ecn=*/false));
+      if (action == cc::CutAction::kCollapse) {
         // Tahoe: no fast recovery — collapse and slow-start.
-        set_cwnd(1.0);
+        apply_cut(action);
         dupacks_ = 0;
       } else {
         // Reno: halve and inflate by the dupacks already seen.
-        in_recovery_ = true;
-        recovery_point_ = sb_.high();
-        set_cwnd(ssthresh_);
+        grouper_.open_episode(peer_.sb.high());
+        apply_cut(action);
         inflation_ = static_cast<double>(params_.dupthresh);
       }
-    } else if (in_recovery_) {
+    } else if (grouper_.in_episode()) {
       inflation_ += 1.0;  // every further dupack means a packet left the pipe
     }
     return;
@@ -154,15 +172,15 @@ void TcpSender::on_ack_reno(const net::Packet& ack,
 
   // New cumulative ACK.
   dupacks_ = 0;
-  if (in_recovery_) {
-    if (sb_.una() >= recovery_point_) {
-      in_recovery_ = false;  // full recovery: deflate
-      inflation_ = 0.0;
+  if (grouper_.in_episode()) {
+    grouper_.refresh(peer_.sb.una());
+    if (!grouper_.in_episode()) {
+      inflation_ = 0.0;  // full recovery: deflate
     } else {
       // Partial ACK (NewReno behaviour): the next hole is also gone;
       // retransmit it immediately and stay in recovery.
-      sb_.on_retransmit(sb_.una());
-      send_packet(sb_.una(), /*rexmit=*/true);
+      peer_.sb.on_retransmit(peer_.sb.una());
+      send_packet(peer_.sb.una(), /*rexmit=*/true);
       inflation_ = std::max(0.0, inflation_ - static_cast<double>(newly_acked));
       return;
     }
@@ -172,25 +190,26 @@ void TcpSender::on_ack_reno(const net::Packet& ack,
 
 void TcpSender::send_what_we_can() {
   if (!started_) return;
+  const auto cwnd = static_cast<std::int64_t>(win_.cwnd());
   if (params_.variant == TcpVariant::kSack) {
     while (true) {
-      const net::SeqNum rexmit = sb_.next_to_retransmit();
+      const net::SeqNum rexmit = peer_.sb.next_to_retransmit();
       if (rexmit != net::kNoSeq) {
-        if (sb_.pipe() >= static_cast<std::int64_t>(cwnd_)) break;
+        if (peer_.sb.pipe() >= cwnd) break;
         send_packet(rexmit, /*rexmit=*/true);
         continue;
       }
       // New data: bounded by both the window from una and the pipe.
-      if (sb_.high() >= sb_.una() + static_cast<std::int64_t>(cwnd_)) break;
-      if (sb_.pipe() >= static_cast<std::int64_t>(cwnd_)) break;
-      send_packet(sb_.high(), /*rexmit=*/false);
+      if (peer_.sb.high() >= peer_.sb.una() + cwnd) break;
+      if (peer_.sb.pipe() >= cwnd) break;
+      send_packet(peer_.sb.high(), /*rexmit=*/false);
     }
     return;
   }
   // Reno/Tahoe: plain window from una, inflated during fast recovery.
-  const auto wnd = static_cast<std::int64_t>(cwnd_ + inflation_);
-  while (sb_.high() < sb_.una() + wnd)
-    send_packet(sb_.high(), /*rexmit=*/false);
+  const auto wnd = static_cast<std::int64_t>(win_.cwnd() + inflation_);
+  while (peer_.sb.high() < peer_.sb.una() + wnd)
+    send_packet(peer_.sb.high(), /*rexmit=*/false);
 }
 
 void TcpSender::send_packet(net::SeqNum seq, bool rexmit) {
@@ -208,32 +227,31 @@ void TcpSender::send_packet(net::SeqNum seq, bool rexmit) {
   p.ect = params_.ecn;
 
   if (rexmit)
-    sb_.on_retransmit(seq);
+    peer_.sb.on_retransmit(seq);
   else
-    sb_.on_send(seq);
+    peer_.sb.on_send(seq);
 
   pacer_.send(p);
-  if (!rexmit_timer_.armed()) restart_rexmit_timer();
+  rto_.ensure_armed(peer_.rtt.rto());
 }
 
-void TcpSender::restart_rexmit_timer() { rexmit_timer_.schedule(rtt_.rto()); }
+void TcpSender::restart_rexmit_timer() { rto_.restart(peer_.rtt.rto()); }
 
 void TcpSender::on_timeout() {
-  if (sb_.outstanding() == 0) return;
+  if (peer_.sb.outstanding() == 0) return;
   meas_.note_timeout();
   meas_.note_congestion_signal();
   meas_.note_window_cut();
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  set_cwnd(1.0);
-  in_recovery_ = false;
+  apply_cut(policy_->on_timeout(/*repeated_stall=*/true));
+  grouper_.close_episode();
   dupacks_ = 0;
   inflation_ = 0.0;
-  rtt_.back_off();
-  sb_.mark_all_lost();
+  peer_.rtt.back_off();
+  peer_.sb.mark_all_lost();
   if (params_.variant != TcpVariant::kSack) {
     // Go-back-N restart: retransmit the first outstanding packet now; the
     // rest follow as the window re-opens.
-    send_packet(sb_.una(), /*rexmit=*/true);
+    send_packet(peer_.sb.una(), /*rexmit=*/true);
   }
   restart_rexmit_timer();
   send_what_we_can();

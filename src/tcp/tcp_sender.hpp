@@ -10,19 +10,28 @@
 //   * retransmission timeout: cwnd = 1, ssthresh = cwnd/2, exponential
 //     backoff (Karn), scoreboard restart.
 //
+// The window arithmetic, RTO management, signal grouping, and the cut
+// decision all live in the shared congestion-control core (src/cc/): this
+// class keeps only the transport mechanics — what to (re)send, when to
+// sample RTT, and the variant-specific recovery plumbing (SACK pipe vs
+// Reno dupack counting and window inflation).
+//
 // The application is an infinite FTP source: there is always data to send.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
+#include "cc/loss_policy.hpp"
+#include "cc/peer_state.hpp"
+#include "cc/rto_manager.hpp"
+#include "cc/signal_grouper.hpp"
+#include "cc/window.hpp"
 #include "net/agent.hpp"
 #include "net/network.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "stats/flow_measurement.hpp"
-#include "tcp/rtt_estimator.hpp"
-#include "tcp/scoreboard.hpp"
 
 namespace rlacast::tcp {
 
@@ -44,9 +53,13 @@ struct TcpParams {
   int dupthresh = 3;
   std::int32_t packet_bytes = net::kDataPacketBytes;
   std::int32_t ack_bytes = net::kAckPacketBytes;
-  RttEstimatorParams rtt{};
-  // Random per-packet sender processing time, Uniform(0, max): §3.1's
-  // phase-effect elimination. 0 disables.
+  /// Estimator tuning; the shared TCP/RLA defaults live in
+  /// cc/rtt_estimator.hpp.
+  cc::RttEstimatorParams rtt{};
+  /// Random per-packet sender processing time, Uniform(0, max): §3.1's
+  /// phase-effect elimination. 0 disables. Competing flows must use the
+  /// same bound as RlaParams::max_send_overhead — unequal jitter quietly
+  /// biases the fairness ratio (the topo/ builders assert this).
   sim::SimTime max_send_overhead = 0.0;
   // ECN (RFC 3168, simplified): mark data ECN-capable and treat an echoed
   // CE (ECE on an ACK) as a congestion signal — one window halving per
@@ -68,22 +81,23 @@ class TcpSender final : public net::Agent {
   void on_receive(const net::Packet& p) override;
 
   // --- observability ---------------------------------------------------------
-  double cwnd() const { return cwnd_; }
-  double ssthresh() const { return ssthresh_; }
-  bool in_recovery() const { return in_recovery_; }
-  net::SeqNum highest_sent() const { return sb_.high(); }
-  net::SeqNum una() const { return sb_.una(); }
-  const RttEstimator& rtt() const { return rtt_; }
+  double cwnd() const { return win_.cwnd(); }
+  double ssthresh() const { return win_.ssthresh(); }
+  bool in_recovery() const { return grouper_.in_episode(); }
+  net::SeqNum highest_sent() const { return peer_.sb.high(); }
+  net::SeqNum una() const { return peer_.sb.una(); }
+  const cc::RttEstimator& rtt() const { return peer_.rtt; }
   stats::FlowMeasurement& measurement() { return meas_; }
   const stats::FlowMeasurement& measurement() const { return meas_; }
   const TcpParams& params() const { return params_; }
 
  private:
-  void set_cwnd(double w);
   void on_ack(const net::Packet& ack);
   void on_ack_sack(const net::Packet& ack, std::int64_t newly_acked);
   void on_ack_reno(const net::Packet& ack, std::int64_t newly_acked);
   void grow_window();
+  void apply_cut(cc::CutAction action);
+  cc::SignalContext signal_ctx(bool from_ecn) const;
   void on_timeout();
   void send_what_we_can();
   void send_packet(net::SeqNum seq, bool rexmit);
@@ -99,14 +113,12 @@ class TcpSender final : public net::Agent {
   TcpParams params_;
 
   net::SendPacer pacer_;
-  Scoreboard sb_;
-  RttEstimator rtt_;
-  sim::Timer rexmit_timer_;
+  cc::PeerState peer_;  // {scoreboard, RTT estimator}: one, for one receiver
+  cc::Window win_;
+  cc::SignalGrouper grouper_;  // sequence-mode recovery episodes
+  cc::RtoManager rto_;
+  std::unique_ptr<cc::LossResponsePolicy> policy_;  // one heap alloc, in ctor
 
-  double cwnd_;
-  double ssthresh_;
-  bool in_recovery_ = false;
-  net::SeqNum recovery_point_ = 0;
   bool started_ = false;
   // Reno/Tahoe dupack machinery.
   int dupacks_ = 0;

@@ -1,5 +1,6 @@
 #include "topo/flat_tree.hpp"
 
+#include <cassert>
 #include <memory>
 #include <string>
 
@@ -66,7 +67,12 @@ FlatTreeResult run_flat_tree(const FlatTreeConfig& cfg) {
   net.build_routes();
 
   // Phase-effect elimination: uniform random sender overhead up to the
-  // bottleneck service time, drop-tail only (§3.1).
+  // bottleneck service time, drop-tail only (§3.1). Competing flows must
+  // share one jitter bound — unequal max_send_overhead quietly biases the
+  // fairness comparison — so the builder overrides both params from the
+  // same `overhead` below and rejects configs that pre-set them unequally.
+  assert(cfg.rla.max_send_overhead == cfg.tcp.max_send_overhead &&
+         "RLA and TCP flows must share the same send-jitter bound");
   const sim::SimTime overhead =
       (cfg.gateway == GatewayType::kDropTail && cfg.phase_randomization)
           ? static_cast<double>(pkt_bytes) * 8.0 / slowest_bps

@@ -216,6 +216,12 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
   }
   net.build_routes();
 
+  // Competing flows must share one jitter bound (see the cross-referenced
+  // doc comments on RlaParams/TcpParams::max_send_overhead): the builder
+  // overrides both from the same `overhead`, and rejects configs that
+  // pre-set them unequally.
+  assert(cfg.rla.max_send_overhead == cfg.tcp.max_send_overhead &&
+         "RLA and TCP flows must share the same send-jitter bound");
   const sim::SimTime overhead =
       (cfg.gateway == GatewayType::kDropTail && cfg.phase_randomization)
           ? static_cast<double>(pkt_bytes) * 8.0 / slowest_bps

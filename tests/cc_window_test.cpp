@@ -1,0 +1,124 @@
+// cc::Window unit tests: the one place AIMD window arithmetic lives.
+//
+// The numerical contract matters as much as the behaviour: grow(n) must be
+// n sequential per-ACK increments followed by a single clamp, because the
+// figure benches are guarded byte-for-byte (tests/golden/) and the FP
+// operation order feeds straight into their output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/window.hpp"
+
+namespace rlacast::cc {
+namespace {
+
+WindowParams params(double cwnd, double ssthresh, double max_cwnd = 1e6,
+                    double weight = 1.0) {
+  WindowParams p;
+  p.initial_cwnd = cwnd;
+  p.initial_ssthresh = ssthresh;
+  p.max_cwnd = max_cwnd;
+  p.fairness_weight = weight;
+  return p;
+}
+
+TEST(Window, SlowStartAddsOnePerAck) {
+  Window w(params(1.0, 64.0));
+  EXPECT_TRUE(w.in_slow_start());
+  w.grow(1);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 2.0);
+  w.grow(2);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 4.0);
+}
+
+TEST(Window, CongestionAvoidanceAddsReciprocalOfFloor) {
+  Window w(params(10.0, 4.0));
+  EXPECT_FALSE(w.in_slow_start());
+  w.grow(1);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 10.0 + 1.0 / 10.0);
+  // The next increment divides by the *new* floor once cwnd crosses 11.
+  Window v(params(10.9, 4.0));
+  v.grow(1);
+  EXPECT_DOUBLE_EQ(v.cwnd(), 10.9 + 1.0 / 10.0);
+}
+
+TEST(Window, FairnessWeightScalesCaIncrement) {
+  Window w(params(10.0, 4.0, 1e6, 2.5));
+  w.grow(1);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 10.0 + 2.5 / 10.0);
+  // Weight does not touch slow start.
+  Window s(params(2.0, 64.0, 1e6, 2.5));
+  s.grow(1);
+  EXPECT_DOUBLE_EQ(s.cwnd(), 3.0);
+}
+
+TEST(Window, GrowCrossesSsthreshMidBatch) {
+  // A batch of ACKs that straddles ssthresh: per-ACK increments must switch
+  // regime mid-loop exactly as n individual grow(1) calls would.
+  Window batch(params(3.0, 4.0));
+  batch.grow(3);
+  Window step(params(3.0, 4.0));
+  for (int i = 0; i < 3; ++i) step.grow(1);
+  EXPECT_EQ(batch.cwnd(), step.cwnd());  // bit-identical, not just close
+  EXPECT_DOUBLE_EQ(batch.cwnd(), 4.0 + 1.0 / 4.0 + 1.0 / 4.0);
+}
+
+TEST(Window, GrowBatchBitIdenticalToSequentialAcks) {
+  Window batch(params(1.0, 8.0));
+  Window step(params(1.0, 8.0));
+  batch.grow(50);
+  for (int i = 0; i < 50; ++i) step.grow(1);
+  EXPECT_EQ(batch.cwnd(), step.cwnd());
+  EXPECT_EQ(batch.ssthresh(), step.ssthresh());
+}
+
+TEST(Window, ClampsToMaxCwnd) {
+  Window w(params(9.5, 64.0, 10.0));
+  w.grow(3);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 10.0);
+}
+
+TEST(Window, HalveWithTcpFloorLandsOnSsthresh) {
+  Window w(params(10.0, 64.0));
+  w.halve(2.0);
+  EXPECT_DOUBLE_EQ(w.ssthresh(), 5.0);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 5.0);
+  // Small window: both ssthresh and cwnd pinned at the floor of 2.
+  Window s(params(3.0, 64.0));
+  s.halve(2.0);
+  EXPECT_DOUBLE_EQ(s.ssthresh(), 2.0);
+  EXPECT_DOUBLE_EQ(s.cwnd(), 2.0);
+}
+
+TEST(Window, HalveWithRlaFloorCanGoBelowTwo) {
+  Window w(params(3.0, 64.0));
+  w.halve(1.0);
+  EXPECT_DOUBLE_EQ(w.ssthresh(), 2.0);  // ssthresh floor stays at 2
+  EXPECT_DOUBLE_EQ(w.cwnd(), 1.5);      // cwnd may drop to the RLA floor
+  w.halve(1.0);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 1.0);  // clamped at the absolute minimum
+}
+
+TEST(Window, CollapseToOneKeepsHalfAsSsthresh) {
+  Window w(params(16.0, 64.0));
+  w.collapse_to_one();
+  EXPECT_DOUBLE_EQ(w.cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(w.ssthresh(), 8.0);
+  EXPECT_TRUE(w.in_slow_start());
+  // Tiny window: ssthresh still floors at 2.
+  Window s(params(1.0, 64.0));
+  s.collapse_to_one();
+  EXPECT_DOUBLE_EQ(s.ssthresh(), 2.0);
+}
+
+TEST(Window, SetCwndClampsBothEnds) {
+  Window w(params(5.0, 64.0, 20.0));
+  w.set_cwnd(0.2);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 1.0);
+  w.set_cwnd(100.0);
+  EXPECT_DOUBLE_EQ(w.cwnd(), 20.0);
+}
+
+}  // namespace
+}  // namespace rlacast::cc
