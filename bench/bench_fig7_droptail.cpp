@@ -22,6 +22,7 @@
 #include "common.hpp"
 #include "exp/runner.hpp"
 #include "model/formulas.hpp"
+#include "replay_support.hpp"
 #include "topo/tertiary_tree.hpp"
 
 using namespace rlacast;
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
     opt.duration = 40.0;
     opt.warmup = 10.0;
   }
+  bench::ReplayCoordinator replay("fig7_droptail", opt);
   bench::print_header(
       "Figure 7: multicast sharing with TCP, drop-tail gateways", opt);
 
@@ -54,12 +56,18 @@ int main(int argc, char** argv) {
     cfg.duration = opt.duration;
     cfg.warmup = opt.warmup;
     cfg.seed = spec.seed;
+    auto session = replay.session(spec);
+    cfg.instrument = session->instrument();
     const auto res = topo::run_tertiary_tree(cfg);
+    session->finish();
     return bench::metrics_from_column(
         {spec.name, res.rla[0], res.worst_tcp(), res.best_tcp()});
   };
+  if (replay.replay_mode()) return replay.run_replay(run);
 
-  exp::Runner runner(opt.runner_options());
+  exp::RunnerOptions ropts = opt.runner_options();
+  replay.configure_runner(ropts);
+  exp::Runner runner(ropts);
   const exp::Results results = runner.run(grid, run);
   const auto cols = bench::replicate0_columns(results);
 

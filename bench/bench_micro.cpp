@@ -7,7 +7,7 @@
 #include "net/red.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulator.hpp"
-#include "tcp/scoreboard.hpp"
+#include "cc/scoreboard.hpp"
 #include "topo/flat_tree.hpp"
 
 namespace {
@@ -75,7 +75,7 @@ BENCHMARK(BM_RedEnqueueDequeue);
 void BM_ScoreboardAckCycle(benchmark::State& state) {
   // Window of `range` packets: send, SACK the top, advance.
   const auto w = static_cast<net::SeqNum>(state.range(0));
-  tcp::Scoreboard sb;
+  cc::Scoreboard sb;
   net::SeqNum next = 0;
   for (net::SeqNum i = 0; i < w; ++i) sb.on_send(next++);
   for (auto _ : state) {

@@ -11,6 +11,7 @@
 
 #include "common.hpp"
 #include "exp/runner.hpp"
+#include "replay_support.hpp"
 #include "stats/table.hpp"
 #include "topo/tertiary_tree.hpp"
 
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
     opt.duration = 40.0;
     opt.warmup = 10.0;
   }
+  bench::ReplayCoordinator replay("multisession", opt);
   bench::print_header("Section 5.2: two overlapping multicast sessions", opt);
 
   exp::Grid grid;
@@ -39,7 +41,10 @@ int main(int argc, char** argv) {
     cfg.duration = opt.duration;
     cfg.warmup = opt.warmup;
     cfg.seed = spec.seed;
+    auto session = replay.session(spec);
+    cfg.instrument = session->instrument();
     const auto res = topo::run_tertiary_tree(cfg);
+    session->finish();
     exp::Metrics m;
     for (std::size_t i = 0; i < res.rla.size(); ++i) {
       const std::string p = "s" + std::to_string(i + 1);
@@ -55,7 +60,11 @@ int main(int argc, char** argv) {
     return m;
   };
 
-  exp::Runner runner(opt.runner_options());
+  if (replay.replay_mode()) return replay.run_replay(run);
+
+  exp::RunnerOptions ropts = opt.runner_options();
+  replay.configure_runner(ropts);
+  exp::Runner runner(ropts);
   const exp::Results results = runner.run(grid, run);
   const exp::RunResult* rep0 = results.replicate0("two-sessions");
   if (!rep0) {

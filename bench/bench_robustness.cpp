@@ -26,6 +26,7 @@
 #include "common.hpp"
 #include "exp/runner.hpp"
 #include "model/formulas.hpp"
+#include "replay_support.hpp"
 #include "topo/tertiary_tree.hpp"
 
 using namespace rlacast;
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
     opt.duration = 80.0;
     opt.warmup = 20.0;
   }
+  bench::ReplayCoordinator replay("robustness", opt);
   bench::print_header(
       "Robustness: fairness under loss, bursty channels, churn, and crashes",
       opt);
@@ -127,13 +129,19 @@ int main(int argc, char** argv) {
       cfg.rla.silent_drop_after = 10.0;
     }
 
+    auto session = replay.session(spec);
+    cfg.instrument = session->instrument();
     const auto res = topo::run_tertiary_tree(cfg);
+    session->finish();
     if (!res.watchdog_ok)
       throw std::runtime_error("watchdog: " + res.watchdog_report);
     return tree_metrics(spec.name, res);
   };
+  if (replay.replay_mode()) return replay.run_replay(run);
 
-  exp::Runner runner(opt.runner_options());
+  exp::RunnerOptions ropts = opt.runner_options();
+  replay.configure_runner(ropts);
+  exp::Runner runner(ropts);
   const exp::Results results = runner.run(grid, run);
 
   // --- fairness-vs-impairment tables -------------------------------------

@@ -31,6 +31,16 @@ struct Options {
   int retries = 0;           // --retries N; extra attempts on TransientError
   bool smoke = false;        // --smoke; CI-sized quick pass (bench-defined)
 
+  /// Determinism / crash-containment controls (replay-wired benches only;
+  /// see src/replay/ and bench/replay_support.hpp).
+  std::string record_journal_dir;  // --record-journal DIR; journal every run
+  std::string replay_path;         // --replay PATH; verify one run, then exit
+  std::uint64_t checkpoint_events = 20000;  // --checkpoint-events N
+  bool isolate = false;            // --isolate; fork-sandbox every run
+  std::string crash_dir = "results/crashes";  // --crash-dir DIR
+  double isolate_cpu = 0.0;        // --isolate-cpu S; RLIMIT_CPU per run
+  std::size_t isolate_mem_mb = 0;  // --isolate-mem MB; RLIMIT_AS per run
+
   double measured_seconds() const { return duration - warmup; }
 
   /// Worker count after resolving --jobs 0 to the hardware parallelism.

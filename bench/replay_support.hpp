@@ -1,0 +1,109 @@
+// Bench-side glue for the replay subsystem (src/replay/): one coordinator
+// per bench process dispatches between three modes driven by the shared
+// flags in bench::Options —
+//
+//   record  (--record-journal DIR, or implied by --isolate): every run gets
+//           a streaming replay::Recorder whose journal file survives the
+//           run — or the run's crash — and whose name encodes the RunSpec.
+//   replay  (--replay PATH): the bench loads the journal, reconstructs the
+//           original RunSpec and effective durations from journal metadata,
+//           re-executes that single run under a replay::Verifier, and exits
+//           0 (bit-identical, or reproduced a truncated journal up to its
+//           crash point) or 1 (divergence; the report names the first
+//           divergent event and the bracketing checkpoints).
+//   off     (neither flag): sessions are inert and the run is untouched.
+//
+// Wiring pattern for an exp-migrated bench:
+//
+//   bench::ReplayCoordinator replay("fig7_droptail", opt);
+//   const exp::RunFn run = [&](const exp::RunSpec& spec) {
+//     topo::TreeConfig cfg = ...;
+//     auto session = replay.session(spec);
+//     cfg.instrument = session->instrument();
+//     const auto res = topo::run_tertiary_tree(cfg);
+//     session->finish();
+//     return ...;
+//   };
+//   if (replay.replay_mode()) return replay.run_replay(run);
+//   exp::RunnerOptions ropts = opt.runner_options();
+//   replay.configure_runner(ropts);   // crash reports gain a repro command
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+#include "replay/recorder.hpp"
+#include "replay/verifier.hpp"
+#include "sim/simulator.hpp"
+
+namespace rlacast::bench {
+
+/// The per-run half of the glue: holds the run's Recorder (record mode) or
+/// borrows the coordinator's Verifier (replay mode), hands out the
+/// Simulator hook, and finalizes on finish(). Inert when both are absent.
+class ReplaySession {
+ public:
+  /// The topo instrument hook installing this session's observer; empty
+  /// std::function when the session is inert.
+  std::function<void(sim::Simulator&)> instrument();
+
+  /// Ends the session: takes the recorder's final checkpoint and closes the
+  /// journal file, or finalizes the verifier (divergence is inspected by
+  /// ReplayCoordinator::run_replay, not thrown here).
+  void finish();
+
+  ~ReplaySession() { finish(); }
+
+ private:
+  friend class ReplayCoordinator;
+  std::unique_ptr<replay::Recorder> recorder_;
+  replay::Verifier* verifier_ = nullptr;  // owned by the coordinator
+  bool finished_ = false;
+};
+
+class ReplayCoordinator {
+ public:
+  /// `experiment` is the bench's results.json experiment name (e.g.
+  /// "fig7_droptail"); the crash-report repro command is derived from it.
+  /// In replay mode the constructor loads the journal and overwrites
+  /// opt.duration / opt.warmup / opt.seed with the recorded effective
+  /// values, so the re-execution matches even across --smoke / --full.
+  /// Exits with status 2 when --replay names an unreadable journal.
+  ReplayCoordinator(std::string experiment, Options& opt);
+
+  bool replay_mode() const { return !opt_.replay_path.empty(); }
+  bool record_mode() const { return !record_dir_.empty(); }
+
+  /// Effective journal directory: --record-journal, or
+  /// <crash-dir>/journals when --isolate is on without an explicit one.
+  const std::string& record_dir() const { return record_dir_; }
+
+  /// Journal file path for one run (record mode).
+  std::string journal_path(const exp::RunSpec& spec) const;
+
+  /// Creates the per-run session for `spec`. Never returns null; the
+  /// session is inert when neither recording nor replaying.
+  std::unique_ptr<ReplaySession> session(const exp::RunSpec& spec);
+
+  /// Replay driver: rebuilds the RunSpec from journal metadata, re-executes
+  /// it through `run`, and reports the verdict. Returns the bench's exit
+  /// code (0 verified / reproduced-to-crash-point, 1 diverged or errored).
+  int run_replay(const exp::RunFn& run);
+
+  /// Record-mode runner integration: attaches a crash_context that adds the
+  /// run's journal path, checkpoint coverage, journal tail, and the exact
+  /// `bench_<experiment> --replay <journal>` repro command to crash reports.
+  void configure_runner(exp::RunnerOptions& ropts) const;
+
+ private:
+  std::string experiment_;
+  Options& opt_;
+  std::string record_dir_;
+  replay::Journal journal_;            // replay mode: the loaded journal
+  std::unique_ptr<replay::Verifier> verifier_;  // replay mode, during the run
+};
+
+}  // namespace rlacast::bench

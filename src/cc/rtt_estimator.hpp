@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "replay/snapshot.hpp"
 #include "sim/time.hpp"
 
 namespace rlacast::cc {
@@ -22,7 +23,7 @@ struct RttEstimatorParams {
   sim::SimTime initial_rto = 3.0;
 };
 
-class RttEstimator {
+class RttEstimator : public replay::Snapshotable {
  public:
   explicit RttEstimator(RttEstimatorParams p = {}) : p_(p), rto_(p.initial_rto) {}
 
@@ -54,6 +55,18 @@ class RttEstimator {
   sim::SimTime srtt() const { return valid_ ? srtt_ : p_.initial_rto / 2.0; }
   sim::SimTime rttvar() const { return rttvar_; }
   bool valid() const { return valid_; }
+
+  /// Checkpoint state: the full estimator (bit-exact doubles), so RTT
+  /// sample reordering between runs is caught at the next checkpoint.
+  replay::Snapshot snapshot_state() const override {
+    replay::Snapshot s;
+    s.put("valid", valid_);
+    s.put("srtt", srtt_);
+    s.put("rttvar", rttvar_);
+    s.put("rto", rto_);
+    s.put("backoff", backoff_);
+    return s;
+  }
 
  private:
   RttEstimatorParams p_;

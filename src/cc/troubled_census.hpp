@@ -21,12 +21,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "replay/snapshot.hpp"
 #include "sim/time.hpp"
 #include "stats/ewma.hpp"
 
 namespace rlacast::cc {
 
-class TroubledCensus {
+class TroubledCensus : public replay::Snapshotable {
  public:
   TroubledCensus(double eta, double interval_gain)
       : eta_(eta), gain_(interval_gain) {}
@@ -61,6 +62,24 @@ class TroubledCensus {
   std::uint64_t total_signals() const { return total_signals_; }
   sim::SimTime last_signal_time(int i) const {
     return rcvrs_[static_cast<std::size_t>(i)].last_signal;
+  }
+
+  /// Checkpoint state: census totals plus per-receiver signal counts and
+  /// troubled/excluded flags (the inputs to every pthresh decision).
+  replay::Snapshot snapshot_state() const override {
+    replay::Snapshot s;
+    s.put("receivers", rcvrs_.size());
+    s.put("num_troubled", num_troubled_);
+    s.put("total_signals", total_signals_);
+    std::uint64_t excluded = 0;
+    std::uint64_t troubled_mask = 0;
+    for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+      if (rcvrs_[i].excluded) ++excluded;
+      if (rcvrs_[i].troubled && i < 64) troubled_mask |= (1ULL << i);
+    }
+    s.put("excluded", excluded);
+    s.put("troubled_mask", troubled_mask);
+    return s;
   }
 
  private:

@@ -18,6 +18,8 @@
 
 #include <cstdint>
 
+#include "replay/snapshot.hpp"
+
 namespace rlacast::cc {
 
 struct WindowParams {
@@ -29,7 +31,7 @@ struct WindowParams {
   double fairness_weight = 1.0;
 };
 
-class Window {
+class Window : public replay::Snapshotable {
  public:
   explicit Window(const WindowParams& p)
       : p_(p), cwnd_(p.initial_cwnd), ssthresh_(p.initial_ssthresh) {}
@@ -54,6 +56,15 @@ class Window {
 
   /// Direct override for tests and ablations; clamps to [1, max_cwnd].
   void set_cwnd(double w);
+
+  /// Checkpoint state: the window doubles bit-exact, so a single FP
+  /// reordering anywhere in the growth path shows up here.
+  replay::Snapshot snapshot_state() const override {
+    replay::Snapshot s;
+    s.put("cwnd", cwnd_);
+    s.put("ssthresh", ssthresh_);
+    return s;
+  }
 
  private:
   void clamp();

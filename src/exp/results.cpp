@@ -245,9 +245,20 @@ std::string Results::to_json(
       out += ",\"error\":";
       json_escape(out, r.error);
     }
-    // Timeout/retry columns appear only when those paths were taken, so
-    // legacy results.json output is byte-identical.
+    // Timeout/retry/crash columns appear only when those paths were taken,
+    // so legacy results.json output is byte-identical.
     if (r.timed_out) out += ",\"timed_out\":true";
+    if (r.crashed) {
+      out += ",\"crashed\":true";
+      if (r.term_signal != 0) {
+        std::snprintf(buf, sizeof(buf), ",\"signal\":%d", r.term_signal);
+        out += buf;
+      }
+      if (!r.crash_report.empty()) {
+        out += ",\"crash_report\":";
+        json_escape(out, r.crash_report);
+      }
+    }
     if (r.retries > 0) {
       std::snprintf(buf, sizeof(buf), ",\"retries\":%d", r.retries);
       out += buf;

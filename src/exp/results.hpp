@@ -54,6 +54,9 @@ struct RunResult {
   double wall_seconds = 0.0;  // this run's wall-clock time
   int retries = 0;            // extra attempts consumed (TransientError only)
   bool timed_out = false;     // killed by the per-run wall-clock timeout
+  bool crashed = false;       // isolated child died abnormally (--isolate)
+  int term_signal = 0;        // terminating signal of a crashed child, if any
+  std::string crash_report;   // path of the written crash report, if any
 };
 
 /// Mean / stddev / 95% CI of one metric across a case's replicates.

@@ -5,9 +5,12 @@
 #include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "exp/sandbox.hpp"
 
 namespace rlacast::exp {
 
@@ -42,36 +45,97 @@ Attempt attempt_run(const RunFn& fn, const RunSpec& spec) {
   return a;
 }
 
-/// One attempt under a wall-clock limit.  The attempt runs on a detached
-/// thread; if it finishes in time its outcome is taken, otherwise the
-/// thread is abandoned — it keeps the shared state alive through its own
-/// shared_ptr, so a late write after abandonment touches only memory the
-/// waiter no longer reads.  Returns false on timeout.
+/// One attempt under a wall-clock limit.  The attempt runs on its own
+/// thread; if it finishes in time the thread is joined and its outcome
+/// taken.  On timeout the waiter first raises `claimed` — the structural
+/// guarantee that a run completing after abandonment can never deliver a
+/// result: the attempt thread only publishes while claimed is still false,
+/// under the same mutex the waiter holds to claim.  Only then is the
+/// thread detached (threads cannot be killed portably); it keeps the
+/// shared state alive through its own shared_ptr.  Returns false on
+/// timeout.
 bool attempt_with_timeout(const RunFn& fn, const RunSpec& spec,
                           double timeout_seconds, Attempt& out) {
   struct Shared {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
+    std::atomic<bool> claimed{false};  // waiter gave up; discard the result
     Attempt result;
   };
   auto shared = std::make_shared<Shared>();
   // `fn` and `spec` are copied into the thread: the waiter (and even the
   // whole batch) may return before an abandoned attempt finishes.
-  std::thread([shared, fn, spec] {
+  std::thread th([shared, fn, spec] {
     Attempt a = attempt_run(fn, spec);
     std::lock_guard<std::mutex> lock(shared->mu);
+    if (shared->claimed.load(std::memory_order_relaxed)) return;  // too late
     shared->result = std::move(a);
     shared->done = true;
     shared->cv.notify_all();
-  }).detach();
+  });
 
   std::unique_lock<std::mutex> lock(shared->mu);
   const bool finished = shared->cv.wait_for(
       lock, std::chrono::duration<double>(timeout_seconds),
       [&] { return shared->done; });
-  if (finished) out = std::move(shared->result);
-  return finished;
+  if (finished) {
+    out = std::move(shared->result);
+    lock.unlock();
+    th.join();
+    return true;
+  }
+  shared->claimed.store(true, std::memory_order_relaxed);
+  lock.unlock();
+  th.detach();
+  return false;
+}
+
+/// results/crashes/<id>.crash.txt — id sanitized to a portable filename.
+std::string sanitize_for_filename(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (char c : id) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                      c == '_';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+/// Writes the crash report for one crashed isolated run; returns its path
+/// ("" on failure — the crash row survives either way).
+std::string write_crash_report(const RunnerOptions& opts, const RunSpec& spec,
+                               const IsolateOutcome& outcome) {
+  std::error_code ec;
+  std::filesystem::create_directories(opts.crash_dir, ec);
+  const std::string path =
+      opts.crash_dir + "/" + sanitize_for_filename(spec.id()) + ".crash.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "crash report: %s\n", spec.id().c_str());
+  std::fprintf(f, "case: %s\n", spec.name.c_str());
+  std::fprintf(f, "params: %s\n", spec.point.id().c_str());
+  std::fprintf(f, "replicate: %d\n", spec.replicate);
+  std::fprintf(f, "seed: %llu\n",
+               static_cast<unsigned long long>(spec.seed));
+  std::fprintf(f, "outcome: %s\n", outcome.describe().c_str());
+  if (opts.isolate_cpu_seconds > 0.0)
+    std::fprintf(f, "rlimit cpu: %g s\n", opts.isolate_cpu_seconds);
+  if (opts.isolate_mem_mb > 0)
+    std::fprintf(f, "rlimit as: %zu MiB\n", opts.isolate_mem_mb);
+  if (opts.timeout_seconds > 0.0)
+    std::fprintf(f, "timeout: %g s\n", opts.timeout_seconds);
+  if (opts.crash_context) {
+    const std::string extra = opts.crash_context(spec);
+    if (!extra.empty()) {
+      std::fputs(extra.c_str(), f);
+      if (extra.back() != '\n') std::fputc('\n', f);
+    }
+  }
+  std::fclose(f);
+  return path;
 }
 
 }  // namespace
@@ -96,7 +160,38 @@ Results Runner::run(const std::vector<RunSpec>& specs, const RunFn& fn) const {
       const auto run_t0 = std::chrono::steady_clock::now();
       for (int attempt = 0;; ++attempt) {
         Attempt a;
-        if (opts_.timeout_seconds > 0.0) {
+        if (opts_.isolate) {
+          IsolateLimits limits;
+          limits.cpu_seconds = opts_.isolate_cpu_seconds;
+          limits.memory_mb = opts_.isolate_mem_mb;
+          IsolateOutcome iso =
+              run_isolated(fn, specs[i], limits, opts_.timeout_seconds);
+          if (iso.timed_out) {
+            out.ok = false;
+            out.timed_out = true;
+            char msg[64];
+            std::snprintf(msg, sizeof(msg), "timeout after %g s",
+                          opts_.timeout_seconds);
+            out.error = msg;
+            break;  // timeouts are never retried (see below)
+          }
+          if (iso.crashed) {
+            // The child died abnormally. Contain it: record the crash,
+            // write the report, keep sweeping. A crash is deterministic
+            // for a deterministic run_fn, so it is never retried.
+            out.ok = false;
+            out.crashed = true;
+            out.term_signal = iso.term_signal;
+            out.error = iso.describe();
+            if (!opts_.crash_dir.empty())
+              out.crash_report = write_crash_report(opts_, specs[i], iso);
+            break;
+          }
+          a.ok = iso.ok;
+          a.transient = iso.transient;
+          a.metrics = std::move(iso.metrics);
+          a.error = std::move(iso.error);
+        } else if (opts_.timeout_seconds > 0.0) {
           if (!attempt_with_timeout(fn, specs[i], opts_.timeout_seconds, a)) {
             // The attempt's thread is abandoned; never retry a timeout —
             // the wedge is almost certainly deterministic and each retry
@@ -128,9 +223,12 @@ Results Runner::run(const std::vector<RunSpec>& specs, const RunFn& fn) const {
           done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (opts_.progress) {
         std::lock_guard<std::mutex> lock(progress_mu);
+        const char* marker = "";
+        if (!out.ok)
+          marker = out.timed_out ? " [TIMEOUT]"
+                                 : (out.crashed ? " [CRASH]" : " [ERROR]");
         std::fprintf(stderr, "exp: %zu/%zu %s%s (%.1f s)\n", completed,
-                     specs.size(), specs[i].id().c_str(),
-                     out.ok ? "" : (out.timed_out ? " [TIMEOUT]" : " [ERROR]"),
+                     specs.size(), specs[i].id().c_str(), marker,
                      out.wall_seconds);
       }
     }

@@ -11,6 +11,7 @@
 // bench transcripts stay byte-compatible with the pre-runner format).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -50,6 +51,23 @@ struct RunnerOptions {
   int max_retries = 0;
   /// Sleep before retry attempt k is backoff * 2^(k-1) seconds.
   double retry_backoff_seconds = 0.05;
+
+  // --- crash isolation (see exp/sandbox.hpp) ------------------------------
+  /// Run every spec in a forked child process.  A child killed by
+  /// SIGSEGV/SIGABRT/OOM (or dying any other abnormal way) becomes a
+  /// crashed=true row — with a crash report when crash_dir is set — and the
+  /// sweep continues.  timeout_seconds applies per child (SIGKILL).
+  bool isolate = false;
+  /// Directory for crash report files ("" = don't write reports).
+  std::string crash_dir;
+  /// RLIMIT_CPU per isolated run, seconds; 0 = unlimited.
+  double isolate_cpu_seconds = 0.0;
+  /// RLIMIT_AS per isolated run, MiB; 0 = unlimited.
+  std::size_t isolate_mem_mb = 0;
+  /// Extra lines for a crash report (journal path, last checkpoint id, the
+  /// exact `bench_X --replay <journal>` repro command).  Called in the
+  /// parent after the crash, so it may inspect files the dead child left.
+  std::function<std::string(const RunSpec&)> crash_context;
 };
 
 class Runner {

@@ -1,6 +1,7 @@
 #include "net/link.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "net/network.hpp"
@@ -16,7 +17,35 @@ Link::Link(sim::Simulator& sim, Network& network, NodeId from, NodeId to,
       to_(to),
       bandwidth_bps_(bandwidth_bps),
       delay_(delay),
-      queue_(std::move(queue)) {}
+      queue_(std::move(queue)) {
+  if (replay::RunObserver* obs = sim_.observer()) {
+    const std::string id =
+        "link-" + std::to_string(from_) + "-" + std::to_string(to_);
+    obs->attach(id, this);
+    obs->attach(id + "/queue", queue_.get());
+  }
+}
+
+Link::~Link() {
+  if (replay::RunObserver* obs = sim_.observer()) {
+    obs->detach(this);
+    obs->detach(queue_.get());
+  }
+}
+
+replay::Snapshot Link::snapshot_state() const {
+  replay::Snapshot s;
+  s.put("busy", busy_);
+  s.put("pipe", pipe_.size());
+  s.put("inflight_hiwater", inflight_hiwater_);
+  s.put("delivered", delivered_);
+  s.put("bytes_delivered", bytes_delivered_);
+  s.put("drops", drops_);
+  s.put("fault_drops", fault_drops_);
+  s.put("fault_duplicates", fault_duplicates_);
+  s.put("last_arrival", last_arrival_);
+  return s;
+}
 
 void Link::transmit(const Packet& p) {
   if (fault_ != nullptr && fault_->down(sim_.now())) {

@@ -62,10 +62,12 @@ class LinkFaultHook {
   virtual WireVerdict wire(const Packet& p, sim::SimTime now) = 0;
 };
 
-class Link {
+class Link : public replay::Snapshotable {
  public:
   Link(sim::Simulator& sim, Network& network, NodeId from, NodeId to,
        double bandwidth_bps, sim::SimTime delay, std::unique_ptr<Queue> queue);
+
+  ~Link() override;
 
   /// Offers a packet for transmission (from the `from` node).
   void transmit(const Packet& p);
@@ -108,6 +110,11 @@ class Link {
   std::uint64_t fault_drops() const { return fault_drops_; }
   /// Extra packet copies delivered because of injected duplication.
   std::uint64_t fault_duplicates() const { return fault_duplicates_; }
+
+  /// Checkpoint state: transmitter occupancy, pipe depth, and delivery /
+  /// drop totals. The output queue snapshots separately (attached as
+  /// "link-<from>-<to>/queue" beside this link's own registration).
+  replay::Snapshot snapshot_state() const override;
 
  private:
   void pump();

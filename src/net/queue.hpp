@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "net/packet.hpp"
+#include "replay/snapshot.hpp"
 
 namespace rlacast::net {
 
@@ -26,9 +27,9 @@ struct QueueStats {
   }
 };
 
-class Queue {
+class Queue : public replay::Snapshotable {
  public:
-  virtual ~Queue() = default;
+  ~Queue() override = default;
 
   /// Offers a packet at time `now`. Returns true if accepted; a false return
   /// means the packet was dropped (the caller discards it).
@@ -46,6 +47,17 @@ class Queue {
   /// per-flow loss accounting).
   void set_drop_hook(std::function<void(const Packet&, sim::SimTime)> hook) {
     drop_hook_ = std::move(hook);
+  }
+
+  /// Checkpoint state: backlog + cumulative counters. Disciplines with
+  /// internal estimator state (RED) extend this.
+  replay::Snapshot snapshot_state() const override {
+    replay::Snapshot s;
+    s.put("length", length());
+    s.put("enqueued", stats_.enqueued);
+    s.put("dropped", stats_.dropped);
+    s.put("dequeued", stats_.dequeued);
+    return s;
   }
 
  protected:

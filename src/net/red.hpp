@@ -69,6 +69,23 @@ class RedQueue final : public Queue {
   std::uint64_t overflow_drops() const { return overflow_drops_; }
   std::uint64_t ecn_marks() const { return ecn_marks_; }
 
+  /// Base counters plus the RED estimator internals (EWMA average, count
+  /// since last drop, RNG draw cursor) — the state whose divergence is the
+  /// classic symptom of an extra or missing early-drop coin flip.
+  replay::Snapshot snapshot_state() const override {
+    replay::Snapshot s = Queue::snapshot_state();
+    s.put("avg", avg_);
+    s.put("count", count_);
+    s.put("bytes", bytes_);
+    s.put("idle", idle_);
+    s.put("early_drops", early_drops_);
+    s.put("forced_drops", forced_drops_);
+    s.put("overflow_drops", overflow_drops_);
+    s.put("ecn_marks", ecn_marks_);
+    s.put("rng_draws", rng_.draw_count());
+    return s;
+  }
+
  private:
   void age_idle(sim::SimTime now);
 

@@ -1,0 +1,427 @@
+#include "replay/journal.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rlacast::replay {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'L', 'C', 'J'};
+constexpr std::uint32_t kVersion = 1;
+
+// ---- low-level little-endian I/O over stdio --------------------------------
+
+void put_u8(std::FILE* f, std::uint8_t v) { std::fputc(v, f); }
+
+void put_u32(std::FILE* f, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  std::fwrite(b, 1, sizeof(b), f);
+}
+
+void put_u64(std::FILE* f, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  std::fwrite(b, 1, sizeof(b), f);
+}
+
+void put_f64(std::FILE* f, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(f, bits);
+}
+
+void put_str(std::FILE* f, const std::string& s) {
+  put_u32(f, static_cast<std::uint32_t>(s.size()));
+  std::fwrite(s.data(), 1, s.size(), f);
+}
+
+bool get_u8(std::FILE* f, std::uint8_t& v) {
+  int c = std::fgetc(f);
+  if (c == EOF) return false;
+  v = static_cast<std::uint8_t>(c);
+  return true;
+}
+
+bool get_u32(std::FILE* f, std::uint32_t& v) {
+  unsigned char b[4];
+  if (std::fread(b, 1, sizeof(b), f) != sizeof(b)) return false;
+  v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+
+bool get_u64(std::FILE* f, std::uint64_t& v) {
+  unsigned char b[8];
+  if (std::fread(b, 1, sizeof(b), f) != sizeof(b)) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+
+bool get_f64(std::FILE* f, double& v) {
+  std::uint64_t bits = 0;
+  if (!get_u64(f, bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+// Strings are bounded to keep a torn length prefix from triggering a
+// gigabyte allocation when loading a truncated journal.
+bool get_str(std::FILE* f, std::string& s) {
+  std::uint32_t len = 0;
+  if (!get_u32(f, len)) return false;
+  if (len > (1u << 20)) return false;
+  s.resize(len);
+  return len == 0 || std::fread(s.data(), 1, len, f) == len;
+}
+
+void put_checkpoint(std::FILE* f, const Checkpoint& cp) {
+  put_u64(f, cp.id);
+  put_u64(f, cp.dispatch_seq);
+  put_f64(f, cp.sim_time);
+  put_u32(f, static_cast<std::uint32_t>(cp.components.size()));
+  for (const auto& [id, snap] : cp.components) {
+    put_str(f, id);
+    put_u32(f, static_cast<std::uint32_t>(snap.fields().size()));
+    for (const auto& field : snap.fields()) {
+      put_str(f, field.key);
+      put_u64(f, field.bits);
+      put_u8(f, field.is_double ? 1 : 0);
+    }
+  }
+}
+
+bool get_checkpoint(std::FILE* f, Checkpoint& cp) {
+  std::uint32_t ncomp = 0;
+  if (!get_u64(f, cp.id) || !get_u64(f, cp.dispatch_seq) ||
+      !get_f64(f, cp.sim_time) || !get_u32(f, ncomp))
+    return false;
+  if (ncomp > (1u << 20)) return false;
+  cp.components.clear();
+  cp.components.reserve(ncomp);
+  for (std::uint32_t c = 0; c < ncomp; ++c) {
+    std::string id;
+    std::uint32_t nfields = 0;
+    if (!get_str(f, id) || !get_u32(f, nfields)) return false;
+    if (nfields > (1u << 20)) return false;
+    Snapshot snap;
+    for (std::uint32_t i = 0; i < nfields; ++i) {
+      std::string key;
+      std::uint64_t bits = 0;
+      std::uint8_t is_double = 0;
+      if (!get_str(f, key) || !get_u64(f, bits) || !get_u8(f, is_double))
+        return false;
+      if (is_double != 0) {
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        snap.put(key, v);
+      } else {
+        snap.put(key, bits);
+      }
+    }
+    cp.components.emplace_back(std::move(id), std::move(snap));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Record::render() const {
+  char buf[128];
+  switch (type) {
+    case RecordType::kStream:
+      std::snprintf(buf, sizeof(buf), "stream id=%u label#%llu", stream,
+                    static_cast<unsigned long long>(value));
+      break;
+    case RecordType::kDraw:
+      std::snprintf(buf, sizeof(buf), "draw stream=%u index=%llu", stream,
+                    static_cast<unsigned long long>(value));
+      break;
+    case RecordType::kDispatch:
+      std::snprintf(buf, sizeof(buf), "dispatch seq=%llu at=%.9f",
+                    static_cast<unsigned long long>(value), at);
+      break;
+    case RecordType::kCheckpoint:
+      std::snprintf(buf, sizeof(buf), "checkpoint id=%llu",
+                    static_cast<unsigned long long>(value));
+      break;
+  }
+  return buf;
+}
+
+std::string Divergence::render() const {
+  if (!found) return "no divergence";
+  std::string s = "first divergence at record #" +
+                  std::to_string(record_index) + ": ";
+  if (replay_ended_early) {
+    s += "replay ended early; journal expects " + expected.render();
+  } else if (journal_ended_early) {
+    s += "replay continued past end of journal with " + got.render();
+  } else {
+    s += "expected [" + expected.render() + "] got [" + got.render() + "]";
+  }
+  s += "; bracketing checkpoints: ";
+  s += checkpoint_before >= 0 ? std::to_string(checkpoint_before)
+                              : std::string("(none)");
+  s += " .. ";
+  s += checkpoint_after >= 0 ? std::to_string(checkpoint_after)
+                             : std::string("(none)");
+  if (!detail.empty()) s += "; " + detail;
+  return s;
+}
+
+void Journal::set_meta(std::string key, std::string value) {
+  for (auto& kv : meta_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string Journal::meta_value(std::string_view key) const {
+  for (const auto& kv : meta_)
+    if (kv.first == key) return kv.second;
+  return "";
+}
+
+bool Journal::has_meta(std::string_view key) const {
+  for (const auto& kv : meta_)
+    if (kv.first == key) return true;
+  return false;
+}
+
+std::uint32_t Journal::intern_label(std::string_view label) {
+  labels_.emplace_back(label);
+  return static_cast<std::uint32_t>(labels_.size() - 1);
+}
+
+std::uint64_t Journal::add_checkpoint(Checkpoint cp) {
+  cp.id = checkpoints_.size();
+  checkpoints_.push_back(std::move(cp));
+  return checkpoints_.back().id;
+}
+
+std::string Journal::label_of_stream(std::uint32_t stream) const {
+  // Stream ids are assigned in creation order, matching labels_ order.
+  if (stream < labels_.size()) return labels_[stream];
+  return "<stream " + std::to_string(stream) + ">";
+}
+
+std::int64_t Journal::last_checkpoint_before(
+    std::uint64_t record_index) const {
+  std::int64_t best = -1;
+  const std::uint64_t n =
+      record_index < records_.size() ? record_index : records_.size();
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (records_[i].type == RecordType::kCheckpoint)
+      best = static_cast<std::int64_t>(records_[i].value);
+  return best;
+}
+
+bool JournalWriter::open(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& meta) {
+  close();
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) return false;
+  std::fwrite(kMagic, 1, sizeof(kMagic), f_);
+  put_u32(f_, kVersion);
+  put_u32(f_, static_cast<std::uint32_t>(meta.size()));
+  for (const auto& [k, v] : meta) {
+    put_str(f_, k);
+    put_str(f_, v);
+  }
+  return std::ferror(f_) == 0;
+}
+
+void JournalWriter::write(const Record& r, const std::string* label,
+                          const Checkpoint* cp) {
+  if (f_ == nullptr) return;
+  put_u8(f_, static_cast<std::uint8_t>(r.type));
+  put_u32(f_, r.stream);
+  put_u64(f_, r.value);
+  put_f64(f_, r.at);
+  if (r.type == RecordType::kStream) {
+    static const std::string kEmpty;
+    put_str(f_, label != nullptr ? *label : kEmpty);
+  } else if (r.type == RecordType::kCheckpoint && cp != nullptr) {
+    put_checkpoint(f_, *cp);
+  }
+}
+
+void JournalWriter::flush() {
+  if (f_ != nullptr) std::fflush(f_);
+}
+
+void JournalWriter::close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+bool Journal::save(const std::string& path) const {
+  JournalWriter w;
+  if (!w.open(path, meta_)) return false;
+  for (const Record& r : records_) {
+    const std::string* label = nullptr;
+    const Checkpoint* cp = nullptr;
+    if (r.type == RecordType::kStream &&
+        static_cast<std::size_t>(r.value) < labels_.size())
+      label = &labels_[static_cast<std::size_t>(r.value)];
+    else if (r.type == RecordType::kCheckpoint &&
+             r.value < checkpoints_.size())
+      cp = &checkpoints_[static_cast<std::size_t>(r.value)];
+    w.write(r, label, cp);
+  }
+  w.flush();
+  w.close();
+  return true;
+}
+
+bool Journal::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint32_t nmeta = 0;
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+      !get_u32(f, version) || version != kVersion || !get_u32(f, nmeta) ||
+      nmeta > (1u << 20)) {
+    std::fclose(f);
+    return false;
+  }
+  meta_.clear();
+  labels_.clear();
+  records_.clear();
+  checkpoints_.clear();
+  truncated_ = false;
+  for (std::uint32_t i = 0; i < nmeta; ++i) {
+    std::string k;
+    std::string v;
+    if (!get_str(f, k) || !get_str(f, v)) {
+      std::fclose(f);
+      return false;  // a torn header (before any record) is unusable
+    }
+    meta_.emplace_back(std::move(k), std::move(v));
+  }
+  for (;;) {
+    std::uint8_t type = 0;
+    if (!get_u8(f, type)) break;  // clean EOF between records
+    Record r;
+    if (type < 1 || type > 4) {
+      truncated_ = true;
+      break;
+    }
+    r.type = static_cast<RecordType>(type);
+    if (!get_u32(f, r.stream) || !get_u64(f, r.value) || !get_f64(f, r.at)) {
+      truncated_ = true;
+      break;
+    }
+    if (r.type == RecordType::kStream) {
+      std::string label;
+      if (!get_str(f, label)) {
+        truncated_ = true;
+        break;
+      }
+      labels_.push_back(std::move(label));
+    } else if (r.type == RecordType::kCheckpoint) {
+      Checkpoint cp;
+      if (!get_checkpoint(f, cp)) {
+        truncated_ = true;
+        break;
+      }
+      checkpoints_.push_back(std::move(cp));
+    }
+    records_.push_back(r);
+  }
+  std::fclose(f);
+  return true;
+}
+
+Divergence first_divergence(const Journal& recorded,
+                            const Journal& replayed) {
+  Divergence d;
+  const auto& a = recorded.records();
+  const auto& b = replayed.records();
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) {
+      if (a[i].type == RecordType::kCheckpoint) {
+        // Same checkpoint id — compare contents when both sides have them.
+        const auto& ca = recorded.checkpoints();
+        const auto& cb = replayed.checkpoints();
+        const auto id = static_cast<std::size_t>(a[i].value);
+        if (id < ca.size() && id < cb.size()) {
+          const Checkpoint& x = ca[id];
+          const Checkpoint& y = cb[id];
+          const std::size_t nc = x.components.size() < y.components.size()
+                                     ? x.components.size()
+                                     : y.components.size();
+          for (std::size_t c = 0; c < nc; ++c) {
+            if (x.components[c].first != y.components[c].first ||
+                !(x.components[c].second == y.components[c].second)) {
+              d.found = true;
+              d.record_index = i;
+              d.expected = a[i];
+              d.got = b[i];
+              d.detail = "checkpoint " + std::to_string(id) + " component '" +
+                         x.components[c].first + "': " +
+                         x.components[c].second.first_diff(
+                             y.components[c].second);
+              d.checkpoint_before = recorded.last_checkpoint_before(i);
+              d.checkpoint_after = static_cast<std::int64_t>(id);
+              return d;
+            }
+          }
+          if (x.components.size() != y.components.size()) {
+            d.found = true;
+            d.record_index = i;
+            d.expected = a[i];
+            d.got = b[i];
+            d.detail = "checkpoint " + std::to_string(id) +
+                       " component count differs";
+            d.checkpoint_before = recorded.last_checkpoint_before(i);
+            d.checkpoint_after = static_cast<std::int64_t>(id);
+            return d;
+          }
+        }
+      }
+      continue;
+    }
+    d.found = true;
+    d.record_index = i;
+    d.expected = a[i];
+    d.got = b[i];
+    d.checkpoint_before = recorded.last_checkpoint_before(i);
+    // First checkpoint at or after the divergence in the recorded journal.
+    d.checkpoint_after = -1;
+    for (std::size_t j = i; j < a.size(); ++j) {
+      if (a[j].type == RecordType::kCheckpoint) {
+        d.checkpoint_after = static_cast<std::int64_t>(a[j].value);
+        break;
+      }
+    }
+    return d;
+  }
+  if (a.size() != b.size()) {
+    d.found = true;
+    d.record_index = n;
+    d.checkpoint_before = recorded.last_checkpoint_before(n);
+    d.checkpoint_after = -1;
+    if (a.size() > b.size()) {
+      d.replay_ended_early = true;
+      d.expected = a[n];
+    } else {
+      d.journal_ended_early = true;
+      d.got = b[n];
+    }
+  }
+  return d;
+}
+
+}  // namespace rlacast::replay

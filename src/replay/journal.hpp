@@ -1,0 +1,159 @@
+// Run journal: the on-disk and in-memory record of one deterministic run.
+//
+// A journal is an ordered sequence of records — stream creations, RNG
+// draws, scheduler dispatches, checkpoints — plus free-form metadata
+// (bench name, case point, seed, durations) sufficient to re-create the
+// run's RunSpec. Two runs of the same build are deterministic iff their
+// journals are identical record-for-record; the Verifier exploits this by
+// comparing a re-execution against the journal *as it happens*, so the
+// first mismatching record IS the first-divergent event (no post-hoc
+// search needed), and the bracketing checkpoints bound where state agreed.
+//
+// Binary format (little-endian, fixed width):
+//   header:  magic "RLCJ" | u32 version (1) | u32 meta count
+//            meta entries: (u32 len, bytes key)(u32 len, bytes value)
+//   body:    records, each  u8 type | u32 stream | u64 value | f64 at
+//            kCheckpoint records are followed by an inline checkpoint
+//            blob: u64 id | u64 dispatch_seq | f64 sim_time | u32 ncomp |
+//            ncomp * [str id | u32 nfields | nfields * (str key, u64 bits,
+//            u8 is_double)]
+// The loader accepts a truncated tail (a crashed recorder stops mid-write)
+// and flags it via truncated() — everything before the tear is usable.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "replay/snapshot.hpp"
+
+namespace rlacast::replay {
+
+enum class RecordType : std::uint8_t {
+  kStream = 1,      // stream = new id, value = label index into labels()
+  kDraw = 2,        // stream = stream id, value = per-stream draw index
+  kDispatch = 3,    // value = cumulative dispatch seq, at = event time
+  kCheckpoint = 4,  // value = checkpoint id (index into checkpoints());
+                    // stream = 0 for a periodic mid-run checkpoint, 1 for
+                    // the final teardown checkpoint (taken after the run's
+                    // components detached — the Verifier matches it in
+                    // finalize(), not inline after the last dispatch)
+};
+
+struct Record {
+  RecordType type = RecordType::kDraw;
+  std::uint32_t stream = 0;
+  std::uint64_t value = 0;
+  double at = 0.0;
+
+  bool operator==(const Record& o) const {
+    return type == o.type && stream == o.stream && value == o.value &&
+           at == o.at;
+  }
+  std::string render() const;
+};
+
+/// Full engine state at one instant: every attached component's snapshot,
+/// in attach order, plus the synthetic "rng-cursors" component holding the
+/// per-stream draw counters.
+struct Checkpoint {
+  std::uint64_t id = 0;
+  std::uint64_t dispatch_seq = 0;
+  double sim_time = 0.0;
+  std::vector<std::pair<std::string, Snapshot>> components;
+};
+
+/// Where and how a re-execution first left the recorded path.
+struct Divergence {
+  bool found = false;
+  std::uint64_t record_index = 0;  // index of the first mismatching record
+  Record expected;                 // what the journal says happened
+  Record got;                      // what the replay actually did
+  bool replay_ended_early = false; // replay produced fewer records
+  bool journal_ended_early = false;// replay kept going past the journal
+  // Checkpoint ids bracketing the divergence (-1 == none on that side).
+  std::int64_t checkpoint_before = -1;
+  std::int64_t checkpoint_after = -1;
+  std::string detail;              // e.g. first differing checkpoint field
+
+  std::string render() const;
+};
+
+class Journal {
+ public:
+  // --- construction (Recorder side) -----------------------------------------
+  void set_meta(std::string key, std::string value);
+  std::uint32_t intern_label(std::string_view label);
+  void append(const Record& r) { records_.push_back(r); }
+  std::uint64_t add_checkpoint(Checkpoint cp);
+
+  // --- access ---------------------------------------------------------------
+  const std::vector<Record>& records() const { return records_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::vector<Checkpoint>& checkpoints() const { return checkpoints_; }
+  const std::vector<std::pair<std::string, std::string>>& meta() const {
+    return meta_;
+  }
+  /// Value for `key` in meta, or "" when absent.
+  std::string meta_value(std::string_view key) const;
+  bool has_meta(std::string_view key) const;
+  /// True when the file this journal was loaded from ended mid-record
+  /// (recorder died); records() holds everything before the tear.
+  bool truncated() const { return truncated_; }
+  std::string label_of_stream(std::uint32_t stream) const;
+  /// Id of the last checkpoint at or before `record_index` (-1 if none).
+  std::int64_t last_checkpoint_before(std::uint64_t record_index) const;
+
+  // --- persistence ----------------------------------------------------------
+  /// Writes the full journal to `path`. Returns false on I/O error.
+  bool save(const std::string& path) const;
+  /// Reads a journal from `path`. Returns false when the file is missing
+  /// or not a journal; a torn tail is NOT an error (see truncated()).
+  bool load(const std::string& path);
+
+  bool operator==(const Journal& o) const {
+    return records_ == o.records_ && labels_ == o.labels_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::string> labels_;       // stream id -> label
+  std::vector<Record> records_;
+  std::vector<Checkpoint> checkpoints_;
+  bool truncated_ = false;
+};
+
+/// Incremental journal serializer: writes the header once, then appends
+/// records as they happen. flush() makes everything written so far durable
+/// — the Recorder flushes at checkpoints so a crashed process leaves a
+/// loadable journal up to its last checkpoint. Journal::save() is built on
+/// this same writer, so the streamed and one-shot formats are identical.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter() { close(); }
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  bool open(const std::string& path,
+            const std::vector<std::pair<std::string, std::string>>& meta);
+  bool is_open() const { return f_ != nullptr; }
+  /// `label` must be set for kStream records, `cp` for kCheckpoint ones.
+  void write(const Record& r, const std::string* label = nullptr,
+             const Checkpoint* cp = nullptr);
+  void flush();
+  void close();
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+/// Record-by-record comparison of two journals (e.g. two fresh recordings
+/// of nominally identical runs). Checkpoint contents are compared when both
+/// sides carry them. For replay-vs-journal use Verifier, which catches the
+/// divergence live instead.
+Divergence first_divergence(const Journal& recorded, const Journal& replayed);
+
+}  // namespace rlacast::replay

@@ -1,0 +1,100 @@
+#include "replay/recorder.hpp"
+
+namespace rlacast::replay {
+
+Recorder::Recorder(RecorderOptions opts) : opts_(std::move(opts)) {}
+
+Recorder::~Recorder() { finalize(); }
+
+void Recorder::set_meta(std::string key, std::string value) {
+  journal_.set_meta(std::move(key), std::move(value));
+}
+
+void Recorder::emit(const Record& r) {
+  journal_.append(r);
+  if (opts_.stream_path.empty()) return;
+  if (!opened_) {
+    opened_ = true;  // one attempt; a failed open degrades to memory-only
+    writer_ = std::make_unique<JournalWriter>();
+    if (!writer_->open(opts_.stream_path, journal_.meta())) writer_.reset();
+  }
+  if (!writer_) return;
+  const std::string* label = nullptr;
+  const Checkpoint* cp = nullptr;
+  if (r.type == RecordType::kStream)
+    label = &journal_.labels()[static_cast<std::size_t>(r.value)];
+  else if (r.type == RecordType::kCheckpoint)
+    cp = &journal_.checkpoints()[static_cast<std::size_t>(r.value)];
+  writer_->write(r, label, cp);
+  if (r.type == RecordType::kCheckpoint) writer_->flush();
+}
+
+std::uint32_t Recorder::on_stream(std::string_view label) {
+  const std::uint32_t id = journal_.intern_label(label);
+  registry_.note_stream(label);
+  Record r;
+  r.type = RecordType::kStream;
+  r.stream = id;
+  r.value = id;  // label index == stream id (creation order)
+  emit(r);
+  return id;
+}
+
+void Recorder::on_draw(std::uint32_t stream, std::uint64_t index) {
+  registry_.note_draw(stream, index);
+  Record r;
+  r.type = RecordType::kDraw;
+  r.stream = stream;
+  r.value = index;
+  emit(r);
+}
+
+void Recorder::on_dispatch(std::uint64_t seq, double at) {
+  last_seq_ = seq;
+  last_at_ = at;
+  Record r;
+  r.type = RecordType::kDispatch;
+  r.value = seq;
+  r.at = at;
+  emit(r);
+  if (opts_.checkpoint_every != 0 && seq % opts_.checkpoint_every == 0)
+    take_checkpoint(at);
+}
+
+void Recorder::attach(std::string id, const Snapshotable* component) {
+  registry_.attach(std::move(id), component);
+}
+
+void Recorder::detach(const Snapshotable* component) {
+  registry_.detach(component);
+}
+
+void Recorder::take_checkpoint(double at, bool final_cp) {
+  const std::uint64_t id =
+      journal_.add_checkpoint(registry_.capture(last_seq_, at));
+  last_checkpoint_ = static_cast<std::int64_t>(id);
+  Record r;
+  r.type = RecordType::kCheckpoint;
+  r.stream = final_cp ? 1 : 0;  // see RecordType::kCheckpoint
+  r.value = id;
+  r.at = at;
+  emit(r);  // emit() flushes the stream after every checkpoint
+}
+
+void Recorder::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  take_checkpoint(last_at_, /*final_cp=*/true);
+  if (writer_) {
+    writer_->flush();
+    writer_->close();
+    writer_.reset();
+  }
+}
+
+bool Recorder::save(const std::string& path) {
+  finalize();
+  return journal_.save(path);
+}
+
+}  // namespace rlacast::replay

@@ -1,0 +1,124 @@
+// Recorder: the RunObserver that journals a run.
+//
+// Appends one record per stream creation / RNG draw / scheduler dispatch,
+// and every `checkpoint_every` dispatches captures a full checkpoint of all
+// attached Snapshotables plus a synthetic "rng-cursors" component (the
+// per-stream draw counters). When `stream_path` is set, records are also
+// streamed to disk incrementally with an fflush at every checkpoint, so a
+// run killed by a signal leaves a loadable (truncated) journal covering
+// everything up to its last checkpoint — the raw material for the crash
+// report's `--replay` repro command.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "replay/journal.hpp"
+#include "replay/snapshot.hpp"
+
+namespace rlacast::replay {
+
+/// Shared bookkeeping for Recorder and Verifier: the attach-ordered
+/// component registry and per-stream draw cursors, from which live
+/// checkpoints are captured.
+class Registry {
+ public:
+  void attach(std::string id, const Snapshotable* component) {
+    components_.emplace_back(std::move(id), component);
+  }
+
+  void detach(const Snapshotable* component) {
+    for (std::size_t i = components_.size(); i > 0; --i)
+      if (components_[i - 1].second == component)
+        components_.erase(components_.begin() +
+                          static_cast<std::ptrdiff_t>(i - 1));
+  }
+
+  void note_stream(std::string_view label) {
+    stream_labels_.emplace_back(label);
+    cursors_.push_back(0);
+  }
+
+  void note_draw(std::uint32_t stream, std::uint64_t index) {
+    if (stream < cursors_.size()) cursors_[stream] = index;
+  }
+
+  /// Captures every attached component plus the synthetic "rng-cursors"
+  /// snapshot (one field per stream, keyed by label).
+  Checkpoint capture(std::uint64_t dispatch_seq, double sim_time) const {
+    Checkpoint cp;
+    cp.dispatch_seq = dispatch_seq;
+    cp.sim_time = sim_time;
+    Snapshot cursors;
+    for (std::size_t i = 0; i < cursors_.size(); ++i)
+      cursors.put(stream_labels_[i], cursors_[i]);
+    cp.components.emplace_back("rng-cursors", std::move(cursors));
+    cp.components.reserve(1 + components_.size());
+    for (const auto& [id, component] : components_)
+      cp.components.emplace_back(id, component->snapshot_state());
+    return cp;
+  }
+
+  std::size_t component_count() const { return components_.size(); }
+  std::size_t stream_count() const { return stream_labels_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, const Snapshotable*>> components_;
+  std::vector<std::string> stream_labels_;
+  std::vector<std::uint64_t> cursors_;  // per stream id, last draw index
+};
+
+struct RecorderOptions {
+  /// Checkpoint cadence in scheduler dispatches (0 = final only).
+  std::uint64_t checkpoint_every = 20000;
+  /// When non-empty, stream the journal to this file as it is recorded.
+  std::string stream_path;
+};
+
+class Recorder final : public RunObserver {
+ public:
+  explicit Recorder(RecorderOptions opts = {});
+  ~Recorder() override;
+
+  /// Journal metadata (bench name, spec point, seed...). Must be complete
+  /// before the first observed event — it is written into the stream
+  /// file's header.
+  void set_meta(std::string key, std::string value);
+
+  // --- RunObserver ----------------------------------------------------------
+  std::uint32_t on_stream(std::string_view label) override;
+  void on_draw(std::uint32_t stream, std::uint64_t index) override;
+  void on_dispatch(std::uint64_t seq, double at) override;
+  void attach(std::string id, const Snapshotable* component) override;
+  void detach(const Snapshotable* component) override;
+
+  /// Takes the final checkpoint and closes the stream file. Idempotent;
+  /// also called by the destructor.
+  void finalize();
+
+  const Journal& journal() const { return journal_; }
+  Journal take_journal() { return std::move(journal_); }
+  /// Id of the newest checkpoint, -1 before the first one.
+  std::int64_t last_checkpoint_id() const { return last_checkpoint_; }
+  /// Convenience: finalize() then save the full journal to `path`.
+  bool save(const std::string& path);
+
+ private:
+  void emit(const Record& r);
+  void take_checkpoint(double at, bool final_cp = false);
+
+  RecorderOptions opts_;
+  Journal journal_;
+  Registry registry_;
+  std::unique_ptr<JournalWriter> writer_;
+  std::uint64_t last_seq_ = 0;
+  double last_at_ = 0.0;
+  std::int64_t last_checkpoint_ = -1;
+  bool finalized_ = false;
+  bool opened_ = false;
+};
+
+}  // namespace rlacast::replay

@@ -1,0 +1,150 @@
+// Determinism-audit interfaces: the contract between the engine layers
+// (sim/, net/, cc/, rla/) and the run journal (replay/journal.hpp).
+//
+// This header is deliberately self-contained (stdlib only) so any layer can
+// implement Snapshotable or call a RunObserver without linking against the
+// replay library — the dependency points upward only for the concrete
+// Recorder/Verifier, never for the instrumented components.
+//
+// A run is *observed* at three granularities:
+//  * every RNG draw          — (stream id, per-stream draw index);
+//  * every scheduler dispatch — (cumulative sequence number, event time);
+//  * periodic checkpoints     — each attached Snapshotable's state, encoded
+//    as an ordered list of (key, bits) fields.
+// Doubles are captured by bit pattern, so two runs agree on a checkpoint
+// iff their state is *bit*-identical — the same standard the golden-output
+// bench guard enforces on stdout.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rlacast::replay {
+
+/// One component's state at a checkpoint: ordered (key, value) fields.
+/// Field order is part of the state — emit fields deterministically.
+class Snapshot {
+ public:
+  struct Field {
+    std::string key;
+    std::uint64_t bits = 0;    // raw value (doubles bit-cast)
+    bool is_double = false;    // display hint only
+
+    bool operator==(const Field& o) const {
+      return key == o.key && bits == o.bits;
+    }
+  };
+
+  void put(std::string_view key, std::uint64_t v) {
+    fields_.push_back({std::string(key), v, false});
+  }
+  void put(std::string_view key, std::int64_t v) {
+    put(key, static_cast<std::uint64_t>(v));
+  }
+  void put(std::string_view key, std::uint32_t v) {
+    put(key, static_cast<std::uint64_t>(v));
+  }
+  void put(std::string_view key, int v) {
+    put(key, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  void put(std::string_view key, bool v) {
+    put(key, static_cast<std::uint64_t>(v ? 1 : 0));
+  }
+  void put(std::string_view key, double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fields_.push_back({std::string(key), bits, true});
+  }
+
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  bool operator==(const Snapshot& o) const { return fields_ == o.fields_; }
+
+  static std::string render_value(const Field& f) {
+    char buf[48];
+    if (f.is_double) {
+      double v = 0.0;
+      std::memcpy(&v, &f.bits, sizeof(v));
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(f.bits));
+    }
+    return buf;
+  }
+
+  /// Human description of the first field where the two snapshots differ
+  /// ("key: <this> != <other>"); empty when equal.
+  std::string first_diff(const Snapshot& other) const {
+    const std::size_t n =
+        fields_.size() < other.fields_.size() ? fields_.size()
+                                              : other.fields_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Field& a = fields_[i];
+      const Field& b = other.fields_[i];
+      if (a.key != b.key)
+        return "field #" + std::to_string(i) + ": key '" + a.key + "' != '" +
+               b.key + "'";
+      if (a.bits != b.bits)
+        return a.key + ": " + render_value(a) + " != " + render_value(b);
+    }
+    if (fields_.size() != other.fields_.size())
+      return "field count: " + std::to_string(fields_.size()) +
+             " != " + std::to_string(other.fields_.size());
+    return "";
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// A component whose state can be captured at a checkpoint. Implemented by
+/// sim::Scheduler, net::Link, net::Queue, cc::Window, cc::RttEstimator,
+/// cc::TroubledCensus, rla::RlaSender. The capture must be cheap and free
+/// of side effects — it runs mid-simulation.
+class Snapshotable {
+ public:
+  virtual ~Snapshotable() = default;
+  virtual Snapshot snapshot_state() const = 0;
+};
+
+/// Passive observer of one run, driven by the engine. Implemented by
+/// replay::Recorder (journal a run) and replay::Verifier (re-execute and
+/// compare). Observers must not perturb the run: no RNG draws, no
+/// scheduling, no mutation of observed components.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// A named RNG stream was constructed; returns the stream id that
+  /// subsequent on_draw calls for this stream must carry. Stream creation
+  /// order is part of the recorded run.
+  virtual std::uint32_t on_stream(std::string_view label) = 0;
+
+  /// One distribution-level draw from `stream`; `index` is that stream's
+  /// 1-based running draw count (the RNG cursor).
+  virtual void on_draw(std::uint32_t stream, std::uint64_t index) = 0;
+
+  /// One scheduler dispatch: `seq` is the cumulative dispatch count, `at`
+  /// the event's timestamp. Called before the event's callback runs, so
+  /// draws made inside the callback follow their dispatch record.
+  virtual void on_dispatch(std::uint64_t seq, double at) = 0;
+
+  /// Registers `component` for checkpoint capture under `id` (unique per
+  /// run, e.g. "scheduler", "link-3-7/queue", "rla-0/window"). Attach
+  /// order must be deterministic — it defines checkpoint layout.
+  virtual void attach(std::string id, const Snapshotable* component) = 0;
+
+  /// Removes every registration of `component` (component teardown, e.g.
+  /// receiver churn). Safe to call for a never-attached pointer.
+  virtual void detach(const Snapshotable* component) = 0;
+};
+
+}  // namespace rlacast::replay

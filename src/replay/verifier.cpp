@@ -1,0 +1,162 @@
+#include "replay/verifier.hpp"
+
+#include <utility>
+
+namespace rlacast::replay {
+
+Verifier::Verifier(const Journal& recorded) : journal_(recorded) {}
+
+void Verifier::fail(const Record& got, std::string detail) {
+  div_.found = true;
+  div_.record_index = cursor_;
+  if (cursor_ < journal_.records().size())
+    div_.expected = journal_.records()[static_cast<std::size_t>(cursor_)];
+  div_.got = got;
+  div_.detail = std::move(detail);
+  div_.checkpoint_before = last_verified_cp_;
+  div_.checkpoint_after = -1;
+  for (std::size_t i = static_cast<std::size_t>(cursor_);
+       i < journal_.records().size(); ++i) {
+    if (journal_.records()[i].type == RecordType::kCheckpoint) {
+      div_.checkpoint_after =
+          static_cast<std::int64_t>(journal_.records()[i].value);
+      break;
+    }
+  }
+}
+
+void Verifier::consume_checkpoints(double at, bool include_final) {
+  const auto& recs = journal_.records();
+  while (!div_.found && cursor_ < recs.size() &&
+         recs[static_cast<std::size_t>(cursor_)].type ==
+             RecordType::kCheckpoint) {
+    const Record& r = recs[static_cast<std::size_t>(cursor_)];
+    // A final (teardown) checkpoint was recorded after the run's components
+    // detached; matching it inline — while everything is still attached —
+    // would be a guaranteed false divergence. finalize() consumes it.
+    if (r.stream == 1 && !include_final) return;
+    const auto id = static_cast<std::size_t>(r.value);
+    if (id >= journal_.checkpoints().size()) {
+      // Checkpoint body was torn off (truncated journal): nothing to
+      // compare against; treat like the tear itself.
+      ++cursor_;
+      continue;
+    }
+    const Checkpoint& want = journal_.checkpoints()[id];
+    const Checkpoint live = registry_.capture(want.dispatch_seq, at);
+    std::string diff;
+    const std::size_t n = want.components.size() < live.components.size()
+                              ? want.components.size()
+                              : live.components.size();
+    for (std::size_t c = 0; c < n && diff.empty(); ++c) {
+      if (want.components[c].first != live.components[c].first) {
+        diff = "component #" + std::to_string(c) + ": '" +
+               want.components[c].first + "' != '" +
+               live.components[c].first + "'";
+      } else if (!(want.components[c].second == live.components[c].second)) {
+        diff = "component '" + want.components[c].first + "': " +
+               want.components[c].second.first_diff(live.components[c].second);
+      }
+    }
+    if (diff.empty() && want.components.size() != live.components.size())
+      diff = "component count: " + std::to_string(want.components.size()) +
+             " != " + std::to_string(live.components.size());
+    if (!diff.empty()) {
+      Record got = r;  // same position, divergent contents
+      fail(got, "checkpoint " + std::to_string(id) + " mismatch: " + diff);
+      div_.checkpoint_after = static_cast<std::int64_t>(id);
+      return;
+    }
+    last_verified_cp_ = static_cast<std::int64_t>(id);
+    ++verified_cps_;
+    ++cursor_;
+  }
+}
+
+void Verifier::expect(const Record& got, std::string_view stream_label) {
+  if (div_.found) return;  // already diverged: go passive
+  const auto& recs = journal_.records();
+  if (cursor_ >= recs.size()) {
+    if (journal_.truncated()) {
+      overran_ = true;  // expected: the recorder died here
+      return;
+    }
+    div_.found = true;
+    div_.record_index = cursor_;
+    div_.journal_ended_early = true;
+    div_.got = got;
+    div_.checkpoint_before = last_verified_cp_;
+    return;
+  }
+  const Record& want = recs[static_cast<std::size_t>(cursor_)];
+  if (!(want == got)) {
+    fail(got, "");
+    return;
+  }
+  if (got.type == RecordType::kStream) {
+    const std::string recorded_label =
+        journal_.label_of_stream(got.stream);
+    if (recorded_label != stream_label) {
+      fail(got, "stream " + std::to_string(got.stream) + " label '" +
+                    recorded_label + "' != '" + std::string(stream_label) +
+                    "'");
+      return;
+    }
+  }
+  ++cursor_;
+  consume_checkpoints(got.at);
+}
+
+std::uint32_t Verifier::on_stream(std::string_view label) {
+  const auto id = static_cast<std::uint32_t>(streams_seen_++);
+  registry_.note_stream(label);
+  Record r;
+  r.type = RecordType::kStream;
+  r.stream = id;
+  r.value = id;
+  expect(r, label);
+  return id;
+}
+
+void Verifier::on_draw(std::uint32_t stream, std::uint64_t index) {
+  registry_.note_draw(stream, index);
+  Record r;
+  r.type = RecordType::kDraw;
+  r.stream = stream;
+  r.value = index;
+  expect(r, "");
+}
+
+void Verifier::on_dispatch(std::uint64_t seq, double at) {
+  last_at_ = at;
+  Record r;
+  r.type = RecordType::kDispatch;
+  r.value = seq;
+  r.at = at;
+  expect(r, "");
+}
+
+void Verifier::attach(std::string id, const Snapshotable* component) {
+  registry_.attach(std::move(id), component);
+}
+
+void Verifier::detach(const Snapshotable* component) {
+  registry_.detach(component);
+}
+
+void Verifier::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // The recorder's finalize() appended a final checkpoint; match it now
+  // that this side's components have detached too.
+  consume_checkpoints(last_at_, /*include_final=*/true);
+  if (!div_.found && cursor_ < journal_.records().size()) {
+    div_.found = true;
+    div_.record_index = cursor_;
+    div_.replay_ended_early = true;
+    div_.expected = journal_.records()[static_cast<std::size_t>(cursor_)];
+    div_.checkpoint_before = last_verified_cp_;
+  }
+}
+
+}  // namespace rlacast::replay

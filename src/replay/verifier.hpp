@@ -1,0 +1,78 @@
+// Verifier: the RunObserver that re-executes a run against its journal.
+//
+// The replay driver installs a Verifier in place of a Recorder and runs the
+// bench's ordinary run function with the spec reconstructed from journal
+// metadata. Every incoming hook event is compared against the next journal
+// record *live*, so the first mismatch IS the first-divergent event — the
+// "bisection" between checkpoints falls out of the record stream for free:
+// the Divergence carries both dispatch records plus the ids of the last
+// checkpoint the runs agreed on and the first one after the split.
+//
+// Checkpoint records are consumed by the Verifier itself: when one follows
+// a matched dispatch, it captures a live checkpoint at the exact moment the
+// Recorder did (after the dispatch hook, before the callback runs) and
+// compares field-by-field.
+//
+// A truncated journal (recorder killed mid-run) verifies everything up to
+// the tear; the replay running past the journal's end is then expected and
+// reported via reproduced_to_crash_point(), not as a divergence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "replay/journal.hpp"
+#include "replay/recorder.hpp"
+#include "replay/snapshot.hpp"
+
+namespace rlacast::replay {
+
+class Verifier final : public RunObserver {
+ public:
+  /// `recorded` must outlive the Verifier.
+  explicit Verifier(const Journal& recorded);
+
+  // --- RunObserver ----------------------------------------------------------
+  std::uint32_t on_stream(std::string_view label) override;
+  void on_draw(std::uint32_t stream, std::uint64_t index) override;
+  void on_dispatch(std::uint64_t seq, double at) override;
+  void attach(std::string id, const Snapshotable* component) override;
+  void detach(const Snapshotable* component) override;
+
+  /// The replay finished; consumes trailing checkpoint records and flags a
+  /// replay that ended before the journal did. Call exactly once.
+  void finalize();
+
+  bool diverged() const { return div_.found; }
+  const Divergence& divergence() const { return div_; }
+  /// True when every record in the journal was matched (and, for a
+  /// truncated journal, the replay carried on past the tear).
+  bool ok() const { return !div_.found; }
+  /// Truncated journal fully consumed — the crash path was reproduced.
+  bool reproduced_to_crash_point() const {
+    return journal_.truncated() && cursor_ >= journal_.records().size() &&
+           !div_.found;
+  }
+  std::uint64_t verified_checkpoints() const { return verified_cps_; }
+  std::uint64_t records_matched() const { return cursor_; }
+
+ private:
+  /// Compares one live event against the journal cursor; afterwards
+  /// consumes any checkpoint records sitting at the cursor.
+  void expect(const Record& got, std::string_view stream_label);
+  void consume_checkpoints(double at, bool include_final = false);
+  void fail(const Record& got, std::string detail);
+
+  const Journal& journal_;
+  Registry registry_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t streams_seen_ = 0;
+  std::uint64_t verified_cps_ = 0;
+  std::int64_t last_verified_cp_ = -1;
+  double last_at_ = 0.0;
+  bool overran_ = false;  // ran past a truncated journal's tear (expected)
+  bool finalized_ = false;
+  Divergence div_;
+};
+
+}  // namespace rlacast::replay

@@ -33,6 +33,36 @@ RlaSender::RlaSender(net::Network& network, net::NodeId node, net::PortId port,
       awnd_(params.initial_cwnd) {
   network_.attach(node_, port_, this);
   meas_.note_cwnd(0.0, win_.cwnd());
+  if (replay::RunObserver* obs = sim_.observer()) {
+    const std::string id = "rla-" + std::to_string(flow_);
+    obs->attach(id, this);
+    obs->attach(id + "/window", &win_);
+    obs->attach(id + "/census", &census_);
+  }
+}
+
+RlaSender::~RlaSender() {
+  if (replay::RunObserver* obs = sim_.observer()) {
+    obs->detach(this);
+    obs->detach(&win_);
+    obs->detach(&census_);
+    for (const auto& r : rcvrs_) obs->detach(&r->peer.rtt);
+  }
+}
+
+replay::Snapshot RlaSender::snapshot_state() const {
+  replay::Snapshot s;
+  s.put("next_seq", next_seq_);
+  s.put("max_reach_all", max_reach_all_);
+  s.put("awnd", awnd_);
+  s.put("last_window_cut", last_window_cut_);
+  s.put("acks_received", acks_received_);
+  s.put("mcast_rexmits", mcast_rexmits_);
+  s.put("ucast_rexmits", ucast_rexmits_);
+  s.put("silent_drops", silent_drops_);
+  s.put("receivers", rcvrs_.size());
+  s.put("listen_rng_draws", listen_rng_.draw_count());
+  return s;
 }
 
 int RlaSender::add_receiver(net::NodeId node, net::PortId port) {
@@ -40,6 +70,10 @@ int RlaSender::add_receiver(net::NodeId node, net::PortId port) {
   rcvrs_.back()->node = node;
   rcvrs_.back()->port = port;
   const int idx = census_.add_receiver();
+  if (replay::RunObserver* obs = sim_.observer())
+    obs->attach("rla-" + std::to_string(flow_) + "/rtt-" +
+                    std::to_string(idx),
+                &rcvrs_.back()->peer.rtt);
   // Late join: the newcomer's sequence space starts at the send frontier —
   // it is not owed data transmitted before it existed, and it must not drag
   // max_reach_all below the already-acknowledged prefix. (Beyond 64

@@ -41,20 +41,23 @@
 #include "cc/rla_policy.hpp"
 #include "cc/rto_manager.hpp"
 #include "cc/signal_grouper.hpp"
+#include "cc/troubled_census.hpp"
 #include "cc/window.hpp"
 #include "net/agent.hpp"
 #include "net/network.hpp"
+#include "replay/snapshot.hpp"
 #include "rla/rla_params.hpp"
-#include "rla/troubled_census.hpp"
 #include "sim/simulator.hpp"
 #include "stats/flow_measurement.hpp"
 
 namespace rlacast::rla {
 
-class RlaSender final : public net::Agent {
+class RlaSender final : public net::Agent, public replay::Snapshotable {
  public:
   RlaSender(net::Network& network, net::NodeId node, net::PortId port,
             net::GroupId group, net::FlowId flow, RlaParams params = {});
+
+  ~RlaSender() override;
 
   /// Registers a receiver endpoint (must match an RlaReceiver's node/port
   /// and id). May be called before start_at() or mid-session (late join):
@@ -81,7 +84,7 @@ class RlaSender final : public net::Agent {
   net::SeqNum max_reach_all() const { return max_reach_all_; }
   net::SeqNum next_seq() const { return next_seq_; }
   int num_trouble_rcvr() const { return census_.num_troubled(); }
-  const TroubledCensus& census() const { return census_; }
+  const cc::TroubledCensus& census() const { return census_; }
   double pthresh_for(int rcvr) const;
   std::size_t receiver_count() const { return rcvrs_.size(); }
   std::uint64_t signals_from(int rcvr) const { return census_.signals(rcvr); }
@@ -99,6 +102,12 @@ class RlaSender final : public net::Agent {
   stats::FlowMeasurement& measurement() { return meas_; }
   const stats::FlowMeasurement& measurement() const { return meas_; }
   const RlaParams& params() const { return params_; }
+
+  /// Checkpoint state: sequence frontiers, window edges, rexmit totals and
+  /// the RNG cursors of the listening / pacing streams. Sub-components
+  /// (window, census, per-receiver RTT estimators) attach separately under
+  /// "rla-<flow>/..." ids.
+  replay::Snapshot snapshot_state() const override;
 
  private:
   struct ReceiverState {
@@ -157,7 +166,7 @@ class RlaSender final : public net::Agent {
   cc::RtoManager rto_;
 
   std::vector<std::unique_ptr<ReceiverState>> rcvrs_;
-  TroubledCensus census_;
+  cc::TroubledCensus census_;
   cc::RlaPolicy policy_;  // borrows census_ and listen_rng_: declare after
   cc::Window win_;
 

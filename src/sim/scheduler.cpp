@@ -144,8 +144,28 @@ bool Scheduler::run_one() {
   --live_events_;
   now_ = top.at;
   ++counters_.dispatched;
+  if (observer_ != nullptr) observer_->on_dispatch(counters_.dispatched, now_);
   cb();
   return true;
+}
+
+replay::Snapshot Scheduler::snapshot_state() const {
+  replay::Snapshot s;
+  s.put("now", now_);
+  s.put("next_seq", next_seq_);
+  s.put("live_events", live_events_);
+  s.put("heap_size", heap_.size());
+  s.put("scheduled", counters_.scheduled);
+  s.put("cancelled", counters_.cancelled);
+  s.put("rescheduled", counters_.rescheduled);
+  s.put("dispatched", counters_.dispatched);
+  s.put("callback_heap_fallbacks", counters_.callback_heap_fallbacks);
+  s.put("heap_hiwater", counters_.heap_hiwater);
+  s.put("slab_capacity", counters_.slab_capacity);
+  s.put("slab_live_hiwater", counters_.slab_live_hiwater);
+  s.put("fault_drops", counters_.fault_drops);
+  s.put("fault_duplicates", counters_.fault_duplicates);
+  return s;
 }
 
 void Scheduler::run_until(SimTime until) {

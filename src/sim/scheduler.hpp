@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "replay/snapshot.hpp"
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
 #include "stats/engine_counters.hpp"
@@ -36,7 +37,7 @@ using EventId = std::uint64_t;
 /// Invalid/none event id. Scheduler never returns this value.
 inline constexpr EventId kInvalidEventId = 0;
 
-class Scheduler {
+class Scheduler : public replay::Snapshotable {
  public:
   using Callback = SmallCallback;
 
@@ -91,6 +92,18 @@ class Scheduler {
   /// they must stay distinguishable from).
   stats::EngineCounters& counters_mut() { return counters_; }
 
+  /// Installs (or clears, with nullptr) the determinism observer: every
+  /// dispatch is reported as (sequence number, event time) immediately
+  /// before the callback runs, so draws made inside the callback follow
+  /// their dispatch record in the journal.
+  void set_observer(replay::RunObserver* observer) { observer_ = observer; }
+  replay::RunObserver* observer() const { return observer_; }
+
+  /// Full engine-state checkpoint: clock, live-event census, sequence
+  /// cursor, and every EngineCounters field. Two runs agree here iff the
+  /// scheduler went through bit-identical histories.
+  replay::Snapshot snapshot_state() const override;
+
  private:
   /// Heap key + slab reference. 24 bytes, trivially copyable: sift-up and
   /// sift-down move no callbacks.
@@ -139,6 +152,7 @@ class Scheduler {
   std::uint64_t next_seq_ = 1;
   std::size_t live_events_ = 0;
   stats::EngineCounters counters_;
+  replay::RunObserver* observer_ = nullptr;
 };
 
 }  // namespace rlacast::sim

@@ -1,6 +1,32 @@
 #include "sim/simulator.hpp"
 
-// Simulator and Timer are header-only today; this translation unit anchors
-// the library target and is the intended home for future heavier run-control
-// features (checkpointing, event tracing).
-namespace rlacast::sim {}
+#include <cassert>
+
+namespace rlacast::sim {
+
+Simulator::~Simulator() {
+  if (observer_ != nullptr) observer_->detach(&scheduler_);
+}
+
+void Simulator::set_observer(replay::RunObserver* observer) {
+  observer_ = observer;
+  scheduler_.set_observer(observer);
+  if (observer != nullptr) observer->attach("scheduler", &scheduler_);
+}
+
+Rng Simulator::rng_stream(std::string_view component) {
+#ifndef NDEBUG
+  for (const std::string& seen : stream_labels_)
+    assert(seen != component &&
+           "duplicate RNG stream label within one run — every component "
+           "must own a uniquely named stream");
+  stream_labels_.emplace_back(component);
+#endif
+  if (observer_ != nullptr) {
+    const std::uint32_t id = observer_->on_stream(component);
+    return Rng(seeds_.seed_for(component), observer_, id);
+  }
+  return seeds_.stream(component);
+}
+
+}  // namespace rlacast::sim

@@ -7,9 +7,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
+#include "replay/snapshot.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
@@ -20,6 +23,11 @@ class Simulator {
  public:
   explicit Simulator(std::uint64_t master_seed = 1)
       : seeds_(master_seed) {}
+
+  /// Detaches the scheduler from any installed observer — an observer (a
+  /// replay Recorder taking its final checkpoint) routinely outlives the
+  /// Simulator.
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -50,14 +58,28 @@ class Simulator {
   const Scheduler& scheduler() const { return scheduler_; }
   const SeedSequence& seeds() const { return seeds_; }
 
-  /// Creates a named deterministic random stream.
-  Rng rng_stream(std::string_view component) const {
-    return seeds_.stream(component);
-  }
+  /// Creates a named deterministic random stream.  Stream labels must be
+  /// unique within a run (each component owns its randomness); a duplicate
+  /// label trips an assert in debug builds — two streams with one label
+  /// would be correlated AND would corrupt the per-stream draw cursors the
+  /// replay journal keys on.
+  Rng rng_stream(std::string_view component);
+
+  /// Installs (or clears, with nullptr) the determinism observer for this
+  /// run: the scheduler reports dispatches to it, every subsequently
+  /// created RNG stream reports its draws, and the scheduler itself is
+  /// attached for checkpoints under the id "scheduler".  Install before
+  /// building the network — streams created earlier go unobserved.
+  void set_observer(replay::RunObserver* observer);
+  replay::RunObserver* observer() const { return observer_; }
 
  private:
   Scheduler scheduler_;
   SeedSequence seeds_;
+  replay::RunObserver* observer_ = nullptr;
+#ifndef NDEBUG
+  std::vector<std::string> stream_labels_;  // duplicate-label audit
+#endif
 };
 
 /// A restartable one-shot timer bound to a simulator, used for protocol

@@ -42,6 +42,18 @@ TcpSender::TcpSender(net::Network& network, net::NodeId node, net::PortId port,
       policy_(make_policy(params.variant)) {
   network_.attach(node_, port_, this);
   meas_.note_cwnd(0.0, win_.cwnd());
+  if (replay::RunObserver* obs = sim_.observer()) {
+    const std::string id = "tcp-" + std::to_string(flow_);
+    obs->attach(id + "/window", &win_);
+    obs->attach(id + "/rtt", &peer_.rtt);
+  }
+}
+
+TcpSender::~TcpSender() {
+  if (replay::RunObserver* obs = sim_.observer()) {
+    obs->detach(&win_);
+    obs->detach(&peer_.rtt);
+  }
 }
 
 void TcpSender::start_at(sim::SimTime when) {

@@ -75,6 +75,8 @@ class TcpSender final : public net::Agent {
             net::NodeId dst_node, net::PortId dst_port, net::FlowId flow,
             TcpParams params = {});
 
+  ~TcpSender() override;
+
   /// Opens the connection at absolute simulation time `when`.
   void start_at(sim::SimTime when);
 

@@ -22,6 +22,7 @@ double pps_to_bps(double pps, std::int32_t pkt_bytes) {
 FlatTreeResult run_flat_tree(const FlatTreeConfig& cfg) {
   const std::size_t n_branches = cfg.branches.size();
   sim::Simulator sim(cfg.seed);
+  if (cfg.instrument) cfg.instrument(sim);
   net::Network net(sim);
 
   const auto queue_kind = cfg.gateway == GatewayType::kRed

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "net/red.hpp"
@@ -17,6 +18,10 @@
 #include "sim/time.hpp"
 #include "tcp/tcp_sender.hpp"
 #include "topo/flow_rows.hpp"
+
+namespace rlacast::sim {
+class Simulator;
+}
 
 namespace rlacast::topo {
 
@@ -49,6 +54,10 @@ struct FlatTreeConfig {
   rla::RlaParams rla{};
   tcp::TcpParams tcp{};
   bool with_multicast = true;  // false = TCP-only runs (calibration tests)
+  /// Called on the freshly constructed Simulator before any component is
+  /// built; the replay subsystem installs its RunObserver here. Empty =
+  /// unobserved (default).
+  std::function<void(sim::Simulator&)> instrument;
 };
 
 struct FlatTreeResult {

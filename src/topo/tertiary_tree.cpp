@@ -129,6 +129,7 @@ std::string tree_case_name(TreeCase c) {
 
 TreeResult run_tertiary_tree(const TreeConfig& cfg) {
   sim::Simulator sim(cfg.seed);
+  if (cfg.instrument) cfg.instrument(sim);
   net::Network net(sim);
 
   // --- nodes -----------------------------------------------------------------

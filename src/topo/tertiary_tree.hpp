@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,10 @@
 #include "tcp/tcp_sender.hpp"
 #include "topo/flat_tree.hpp"  // GatewayType
 #include "topo/flow_rows.hpp"
+
+namespace rlacast::sim {
+class Simulator;
+}
 
 namespace rlacast::topo {
 
@@ -82,6 +87,12 @@ struct TreeConfig {
   /// Arm a sim::Watchdog (1 s period) with RLA invariant checks: window
   /// bounds, frontier ordering, census sanity, event-horizon progress.
   bool watchdog = false;
+  /// Called on the freshly constructed Simulator before any component is
+  /// built — the hook point where replay::Recorder/Verifier observers are
+  /// installed (sim.set_observer) so every stream, draw and dispatch of the
+  /// run is journaled or checked. Empty = run unobserved (the default; the
+  /// run is byte-identical either way).
+  std::function<void(sim::Simulator&)> instrument;
 };
 
 struct TreeResult {

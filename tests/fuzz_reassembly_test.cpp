@@ -9,7 +9,7 @@
 
 #include "sim/random.hpp"
 #include "tcp/reassembly.hpp"
-#include "tcp/scoreboard.hpp"
+#include "cc/scoreboard.hpp"
 
 namespace rlacast::tcp {
 namespace {
@@ -121,7 +121,7 @@ class ScoreboardFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ScoreboardFuzz, PipeMatchesBruteForce) {
   sim::Rng rng(GetParam());
-  Scoreboard sb;
+  cc::Scoreboard sb;
   RefScoreboard ref;
   for (int step = 0; step < 4000; ++step) {
     const int action = static_cast<int>(rng.uniform_int(0, 3));

@@ -1,0 +1,66 @@
+# Record/replay regression guard (ctest script mode).
+#
+# Two properties in one test:
+#   1. Journaling is passive: a bench run with --record-journal must emit
+#      stdout byte-identical to the plain --smoke golden hash — turning the
+#      "instrumentation changes nothing" promise into a CI-enforced check.
+#   2. The journal replays: `bench --replay <journal>` must re-execute the
+#      recorded run and verify it bit-identical (exit 0, VERIFIED line).
+#
+# Usage (wired up by tests/CMakeLists.txt):
+#   cmake -DBENCH=<binary> -DGOLDEN=<hash file> -DWORKDIR=<scratch dir>
+#         -P replay_bench_test.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED GOLDEN OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR
+          "usage: cmake -DBENCH=<bench binary> -DGOLDEN=<sha256 file> "
+          "-DWORKDIR=<scratch dir> -P replay_bench_test.cmake")
+endif()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+  COMMAND ${BENCH} --smoke --record-journal ${WORKDIR}
+  OUTPUT_VARIABLE bench_out
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} --smoke --record-journal exited with status ${bench_rc}")
+endif()
+
+# 1. Journaling must not perturb the run: same golden hash as plain --smoke.
+string(SHA256 got "${bench_out}")
+file(READ ${GOLDEN} want)
+string(STRIP "${want}" want)
+string(REGEX MATCH "^[0-9a-f]+" want "${want}")
+if(NOT got STREQUAL want)
+  message(FATAL_ERROR
+          "stdout of ${BENCH} --smoke --record-journal diverged from the "
+          "golden hash:\n  expected ${want}\n  got      ${got}\n"
+          "Recording a journal must be passive — it may not perturb the "
+          "run in any observable way.")
+endif()
+
+# 2. Every recorded journal must replay bit-identical.
+file(GLOB journals ${WORKDIR}/*.journal)
+list(LENGTH journals n_journals)
+if(n_journals EQUAL 0)
+  message(FATAL_ERROR "no journals recorded in ${WORKDIR}")
+endif()
+list(GET journals 0 journal)
+execute_process(
+  COMMAND ${BENCH} --replay ${journal}
+  OUTPUT_VARIABLE replay_out
+  RESULT_VARIABLE replay_rc)
+if(NOT replay_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH} --replay ${journal} exited with status ${replay_rc}:\n"
+          "${replay_out}")
+endif()
+if(NOT replay_out MATCHES "VERIFIED bit-identical")
+  message(FATAL_ERROR
+          "${BENCH} --replay ${journal} did not report a verified replay:\n"
+          "${replay_out}")
+endif()
+
+file(REMOVE_RECURSE ${WORKDIR})

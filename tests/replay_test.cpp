@@ -1,0 +1,257 @@
+// Tests for the replay subsystem (src/replay/): journal save/load
+// round-trips, record-then-replay bit-identity on clean AND faulted
+// (Gilbert–Elliott + churn) tree runs, divergence detection with
+// checkpoint bracketing when the replay is deliberately perturbed, and
+// crash-point reproduction from a truncated journal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "replay/journal.hpp"
+#include "replay/recorder.hpp"
+#include "replay/verifier.hpp"
+#include "sim/simulator.hpp"
+#include "topo/tertiary_tree.hpp"
+
+namespace rlacast {
+namespace {
+
+/// Small-but-real run: the Figure-6 tree at a CI-sized duration. ~1e5
+/// dispatches — enough to cross several checkpoints at the test cadence.
+topo::TreeConfig small_tree() {
+  topo::TreeConfig cfg;
+  cfg.bottleneck = topo::TreeCase::kL1;
+  cfg.duration = 6.0;
+  cfg.warmup = 1.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+topo::TreeConfig faulted_tree() {
+  topo::TreeConfig cfg = small_tree();
+  // Gilbert–Elliott bursty loss on the leaf links plus membership churn —
+  // the heaviest consumers of auxiliary RNG streams.
+  cfg.leaf_fault.ge.p_good_to_bad = 0.01;
+  cfg.leaf_fault.ge.p_bad_to_good = 0.2;
+  cfg.leaf_fault.ge.loss_bad = 0.2;
+  cfg.churn_mean_interval = 2.0;
+  cfg.churn_rejoin_after = 1.0;
+  return cfg;
+}
+
+replay::Journal record_run(topo::TreeConfig cfg,
+                           std::uint64_t checkpoint_every = 20000) {
+  replay::RecorderOptions opts;
+  opts.checkpoint_every = checkpoint_every;
+  replay::Recorder rec(opts);
+  cfg.instrument = [&rec](sim::Simulator& sim) { sim.set_observer(&rec); };
+  topo::run_tertiary_tree(cfg);
+  rec.finalize();
+  return rec.take_journal();
+}
+
+TEST(Replay, RecordThenReplayIsBitIdentical) {
+  const replay::Journal journal = record_run(small_tree());
+  ASSERT_GT(journal.records().size(), 1000u);
+  ASSERT_GE(journal.checkpoints().size(), 2u);  // periodic + final
+
+  replay::Verifier verifier(journal);
+  topo::TreeConfig cfg = small_tree();
+  cfg.instrument = [&verifier](sim::Simulator& sim) {
+    sim.set_observer(&verifier);
+  };
+  topo::run_tertiary_tree(cfg);
+  verifier.finalize();
+
+  EXPECT_TRUE(verifier.ok()) << verifier.divergence().render();
+  EXPECT_EQ(verifier.records_matched(), journal.records().size());
+  EXPECT_EQ(verifier.verified_checkpoints(), journal.checkpoints().size());
+}
+
+TEST(Replay, FaultedRunWithChurnReplaysBitIdentical) {
+  const replay::Journal journal = record_run(faulted_tree(), 10000);
+  ASSERT_GT(journal.records().size(), 1000u);
+
+  replay::Verifier verifier(journal);
+  topo::TreeConfig cfg = faulted_tree();
+  cfg.instrument = [&verifier](sim::Simulator& sim) {
+    sim.set_observer(&verifier);
+  };
+  topo::run_tertiary_tree(cfg);
+  verifier.finalize();
+
+  EXPECT_TRUE(verifier.ok()) << verifier.divergence().render();
+  EXPECT_EQ(verifier.records_matched(), journal.records().size());
+}
+
+TEST(Replay, TwoRecordingsOfSameSpecHaveNoDivergence) {
+  const replay::Journal a = record_run(small_tree());
+  const replay::Journal b = record_run(small_tree());
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(replay::first_divergence(a, b).found);
+}
+
+TEST(Replay, PerturbedReplayIsCaughtAtTheInjectedDispatch) {
+  const replay::Journal journal = record_run(small_tree(), /*every=*/5000);
+  ASSERT_GE(journal.checkpoints().size(), 3u);
+
+  // Perturb the re-execution: one extra no-op event injected early enough
+  // to fire before the first checkpoint. Every dispatch from there on
+  // carries a shifted sequence, so the replay must diverge AT the injected
+  // event — the first-divergent record IS the fault, no search needed.
+  replay::Verifier verifier(journal);
+  topo::TreeConfig cfg = small_tree();
+  // An off-grid timestamp no recorded event can share.
+  const double inject_at = 0.0001234;
+  cfg.instrument = [&verifier, inject_at](sim::Simulator& sim) {
+    sim.set_observer(&verifier);
+    sim.after(inject_at, [] {});
+  };
+  topo::run_tertiary_tree(cfg);
+  verifier.finalize();
+
+  ASSERT_TRUE(verifier.diverged());
+  const replay::Divergence& d = verifier.divergence();
+  EXPECT_GT(d.record_index, 0u);
+  EXPECT_LT(d.record_index, journal.records().size());
+  EXPECT_EQ(d.got.type, replay::RecordType::kDispatch);
+  EXPECT_DOUBLE_EQ(d.got.at, inject_at);
+  // Bracketing: nothing verified before the injection, and the first
+  // checkpoint after the divergence bounds it on the right.
+  EXPECT_EQ(d.checkpoint_before, -1);
+  EXPECT_EQ(d.checkpoint_after, 0);
+  EXPECT_FALSE(d.render().empty());
+}
+
+TEST(Replay, PerturbedStateIsCaughtAtTheNextCheckpoint) {
+  const replay::Journal journal = record_run(small_tree(), /*every=*/5000);
+
+  // An extra event that fires LATE still perturbs scheduler state (the
+  // next_seq counter) the moment it is scheduled — the first checkpoint
+  // after the perturbation must catch the state diff even though no
+  // dispatch record has diverged yet.
+  replay::Verifier verifier(journal);
+  topo::TreeConfig cfg = small_tree();
+  cfg.instrument = [&verifier](sim::Simulator& sim) {
+    sim.set_observer(&verifier);
+    sim.after(5.9, [] {});  // fires long after checkpoint 0
+  };
+  topo::run_tertiary_tree(cfg);
+  verifier.finalize();
+
+  ASSERT_TRUE(verifier.diverged());
+  const replay::Divergence& d = verifier.divergence();
+  EXPECT_EQ(d.got.type, replay::RecordType::kCheckpoint);
+  EXPECT_EQ(d.checkpoint_after, 0);  // caught at the very first checkpoint
+  EXPECT_NE(d.detail.find("scheduler"), std::string::npos) << d.detail;
+  EXPECT_NE(d.detail.find("next_seq"), std::string::npos) << d.detail;
+}
+
+TEST(Replay, JournalSaveLoadRoundTrips) {
+  const replay::Journal journal = record_run(small_tree());
+  const std::string path = testing::TempDir() + "/replay_roundtrip.journal";
+  ASSERT_TRUE(journal.save(path));
+
+  replay::Journal loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_FALSE(loaded.truncated());
+  EXPECT_TRUE(journal == loaded);
+  EXPECT_EQ(loaded.checkpoints().size(), journal.checkpoints().size());
+  ASSERT_FALSE(loaded.checkpoints().empty());
+  EXPECT_EQ(loaded.checkpoints()[0].components.size(),
+            journal.checkpoints()[0].components.size());
+  std::remove(path.c_str());
+}
+
+TEST(Replay, StreamedJournalEqualsInMemoryJournal) {
+  const std::string path = testing::TempDir() + "/replay_streamed.journal";
+  replay::RecorderOptions opts;
+  opts.checkpoint_every = 20000;
+  opts.stream_path = path;
+  replay::Recorder rec(opts);
+  rec.set_meta("bench", "unit-test");
+  topo::TreeConfig cfg = small_tree();
+  cfg.instrument = [&rec](sim::Simulator& sim) { sim.set_observer(&rec); };
+  topo::run_tertiary_tree(cfg);
+  rec.finalize();
+
+  replay::Journal streamed;
+  ASSERT_TRUE(streamed.load(path));
+  EXPECT_FALSE(streamed.truncated());
+  EXPECT_TRUE(streamed == rec.journal());
+  EXPECT_EQ(streamed.meta_value("bench"), "unit-test");
+  std::remove(path.c_str());
+}
+
+TEST(Replay, TruncatedJournalReplaysToCrashPoint) {
+  const replay::Journal journal = record_run(small_tree(), /*every=*/5000);
+  const std::string full = testing::TempDir() + "/replay_full.journal";
+  ASSERT_TRUE(journal.save(full));
+
+  // Chop the file mid-body — the moral equivalent of the recorder dying on
+  // a SIGSEGV between two flushes.
+  std::FILE* in = std::fopen(full.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::fseek(in, 0, SEEK_END);
+  const long size = std::ftell(in);
+  std::fseek(in, 0, SEEK_SET);
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), in), bytes.size());
+  std::fclose(in);
+  const std::string torn = testing::TempDir() + "/replay_torn.journal";
+  std::FILE* out = std::fopen(torn.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  const std::size_t keep = bytes.size() * 3 / 5;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, keep, out), keep);
+  std::fclose(out);
+
+  replay::Journal truncated;
+  ASSERT_TRUE(truncated.load(torn));
+  EXPECT_TRUE(truncated.truncated());
+  ASSERT_GT(truncated.records().size(), 0u);
+  ASSERT_LT(truncated.records().size(), journal.records().size());
+
+  replay::Verifier verifier(truncated);
+  topo::TreeConfig cfg = small_tree();
+  cfg.instrument = [&verifier](sim::Simulator& sim) {
+    sim.set_observer(&verifier);
+  };
+  topo::run_tertiary_tree(cfg);
+  verifier.finalize();
+
+  EXPECT_TRUE(verifier.ok()) << verifier.divergence().render();
+  EXPECT_TRUE(verifier.reproduced_to_crash_point());
+  std::remove(full.c_str());
+  std::remove(torn.c_str());
+}
+
+TEST(Replay, SnapshotFirstDiffNamesTheField) {
+  replay::Snapshot a, b;
+  a.put("cwnd", 12.5);
+  a.put("acks", std::uint64_t{42});
+  b.put("cwnd", 12.5);
+  b.put("acks", std::uint64_t{43});
+  EXPECT_EQ(a.first_diff(a), "");
+  const std::string diff = a.first_diff(b);
+  EXPECT_NE(diff.find("acks"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("42"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("43"), std::string::npos) << diff;
+}
+
+TEST(Replay, JournalMetaAndCheckpointLookups) {
+  replay::Journal j;
+  j.set_meta("bench", "fig7");
+  EXPECT_TRUE(j.has_meta("bench"));
+  EXPECT_EQ(j.meta_value("bench"), "fig7");
+  EXPECT_EQ(j.meta_value("absent"), "");
+
+  const replay::Journal journal = record_run(small_tree(), /*every=*/5000);
+  // last_checkpoint_before walks backward from a record index.
+  EXPECT_EQ(journal.last_checkpoint_before(0), -1);
+  EXPECT_GE(
+      journal.last_checkpoint_before(journal.records().size() - 1), 0);
+}
+
+}  // namespace
+}  // namespace rlacast

@@ -4,10 +4,10 @@
 
 #include <cmath>
 
-#include "rla/troubled_census.hpp"
+#include "cc/troubled_census.hpp"
 #include "sim/random.hpp"
 
-namespace rlacast::rla {
+namespace rlacast::cc {
 namespace {
 
 TEST(Census, EmptyHasNoTroubled) {
@@ -212,4 +212,4 @@ TEST(Census, FuzzRandomSignalSequencesKeepInvariants) {
 }
 
 }  // namespace
-}  // namespace rlacast::rla
+}  // namespace rlacast::cc

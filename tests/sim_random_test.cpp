@@ -1,10 +1,16 @@
 // Tests for the deterministic random streams: reproducibility, stream
-// independence, and distribution sanity (uniformity moments).
+// independence, distribution sanity (uniformity moments), and the replay
+// subsystem's draw-site auditing (draw_count, observer hooks, the
+// duplicate-stream-label assert).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "replay/snapshot.hpp"
 #include "sim/random.hpp"
+#include "sim/simulator.hpp"
 
 namespace rlacast::sim {
 namespace {
@@ -91,6 +97,75 @@ TEST(Rng, UniformIntCoversRangeInclusive) {
   EXPECT_TRUE(seen_lo);
   EXPECT_TRUE(seen_hi);
 }
+
+TEST(Rng, DrawCountIsMonotonicAcrossAllDrawKinds) {
+  Rng r(21);
+  EXPECT_EQ(r.draw_count(), 0u);
+  r.uniform();
+  EXPECT_EQ(r.draw_count(), 1u);
+  r.uniform(2.0, 3.0);  // counts once (implemented via uniform())
+  EXPECT_EQ(r.draw_count(), 2u);
+  r.uniform_int(0, 9);
+  EXPECT_EQ(r.draw_count(), 3u);
+  r.exponential(1.0);
+  EXPECT_EQ(r.draw_count(), 4u);
+  r.chance(0.5);
+  EXPECT_EQ(r.draw_count(), 5u);
+}
+
+/// Minimal observer recording (stream, index) pairs.
+struct DrawLog final : replay::RunObserver {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> draws;
+  std::vector<std::string> streams;
+  std::uint32_t on_stream(std::string_view label) override {
+    streams.emplace_back(label);
+    return static_cast<std::uint32_t>(streams.size() - 1);
+  }
+  void on_draw(std::uint32_t stream, std::uint64_t index) override {
+    draws.emplace_back(stream, index);
+  }
+  void on_dispatch(std::uint64_t, double) override {}
+  void attach(std::string, const replay::Snapshotable*) override {}
+  void detach(const replay::Snapshotable*) override {}
+};
+
+TEST(Rng, ObservedStreamReportsOneBasedDrawIndices) {
+  DrawLog log;
+  Simulator sim(7);
+  sim.set_observer(&log);
+  Rng a = sim.rng_stream("test-stream-a");
+  Rng b = sim.rng_stream("test-stream-b");
+  a.uniform();
+  b.uniform();
+  a.uniform();
+  ASSERT_EQ(log.streams.size(), 2u);
+  EXPECT_EQ(log.streams[0], "test-stream-a");
+  ASSERT_EQ(log.draws.size(), 3u);
+  EXPECT_EQ(log.draws[0], (std::pair<std::uint32_t, std::uint64_t>{0, 1}));
+  EXPECT_EQ(log.draws[1], (std::pair<std::uint32_t, std::uint64_t>{1, 1}));
+  EXPECT_EQ(log.draws[2], (std::pair<std::uint32_t, std::uint64_t>{0, 2}));
+}
+
+TEST(Rng, ObservedStreamDrawsSameValuesAsUnobserved) {
+  DrawLog log;
+  Simulator observed(7), plain(7);
+  observed.set_observer(&log);
+  Rng a = observed.rng_stream("value-stream");
+  Rng b = plain.rng_stream("value-stream");
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+#ifndef NDEBUG
+TEST(RngDeathTest, DuplicateStreamLabelAsserts) {
+  EXPECT_DEATH(
+      {
+        Simulator sim(1);
+        sim.rng_stream("dup-label");
+        sim.rng_stream("dup-label");
+      },
+      "duplicate RNG stream label");
+}
+#endif
 
 }  // namespace
 }  // namespace rlacast::sim

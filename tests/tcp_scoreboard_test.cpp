@@ -2,9 +2,9 @@
 // accounting, retransmission bookkeeping, and cumulative advance.
 #include <gtest/gtest.h>
 
-#include "tcp/scoreboard.hpp"
+#include "cc/scoreboard.hpp"
 
-namespace rlacast::tcp {
+namespace rlacast::cc {
 namespace {
 
 Scoreboard with_sent(int n) {
@@ -126,4 +126,4 @@ TEST(Scoreboard, ResetRestartsCleanly) {
 }
 
 }  // namespace
-}  // namespace rlacast::tcp
+}  // namespace rlacast::cc

@@ -39,3 +39,19 @@ for b in "$ROOT/$BUILD"/bench/*; do
   fi
   echo | tee -a "$ROOT/bench_output.txt"
 done
+
+# Crash-report summaries from any --isolate sweeps. Each report's header
+# block (id, case, outcome, repro command) is folded into bench_output.txt
+# so a regenerated transcript shows at a glance whether any run crashed.
+{
+  echo "########## crash reports (results/crashes)"
+  found=0
+  for r in "$ROOT/results/crashes"/*.crash.txt; do
+    [ -f "$r" ] || continue
+    found=1
+    echo "--- $(basename "$r")"
+    sed -n '1,10p' "$r"
+  done
+  [ "$found" -eq 1 ] || echo "(none)"
+  echo
+} | tee -a "$ROOT/bench_output.txt"
