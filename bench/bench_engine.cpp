@@ -228,8 +228,19 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // Perf-trajectory snapshot: headline throughput per case (replicate 0),
+  // tracked across PRs via the repo-root BENCH_engine.json.
+  std::vector<std::pair<std::string, double>> traj;
+  for (const auto& r : results.runs()) {
+    if (r.spec.replicate != 0 || !r.ok) continue;
+    for (const auto& [k, v] : r.metrics.rows())
+      if (k == "events_per_sec" || k == "sim_s_per_wall_s")
+        traj.emplace_back(r.spec.name + "." + k, v);
+  }
+
   const bool io_ok =
       bench::finish_grid_output("engine", opt, results,
-                                runner.last_wall_seconds(), {});
+                                runner.last_wall_seconds(), {}) &
+      bench::write_trajectory(opt, "engine", runner.last_wall_seconds(), traj);
   return (results.num_errors() || !io_ok) ? 1 : 0;
 }

@@ -15,6 +15,15 @@
 //   silent — one receiver crashes mid-run (keeps receiving, never ACKs);
 //            the sender sheds it via silent_drop_after and the watchdog
 //            verifies no invariant breaks and the window never freezes.
+//   kexp   — generalized-pthresh exponent sweep under 2% Bernoulli wire
+//            loss, on a heterogeneous-RTT tree (leaf delays 100..200 ms;
+//            with equal RTTs the exponent cancels): f(x) = x^k for k in
+//            {0, 0.5, 1, 2, 4} (k = 0 is the paper's equal-RTT RLA).
+//            Random loss inflates the troubled census symmetrically, so
+//            the question is whether any k recovers the Theorem I/II band
+//            that the plain loss sweep loses — or whether the exponent
+//            only redistributes cuts across RTT classes without changing
+//            the aggregate rate.
 //
 // Exp-runner based: `--jobs N`, `--replicates R`, `--json PATH`,
 // `--timeout S` (per-run wall-clock kill), `--smoke` (CI-sized subset).
@@ -76,6 +85,8 @@ int main(int argc, char** argv) {
   const double loss_rates_smoke[] = {0.0, 0.02};
   const double churn_means_full[] = {60.0, 30.0, 10.0};
   const double churn_means_smoke[] = {30.0};
+  const double kexp_full[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+  const double kexp_smoke[] = {0.0, 2.0};
 
   exp::Grid grid;
   grid.master_seed(opt.seed).replicates(opt.replicates);
@@ -96,6 +107,14 @@ int main(int argc, char** argv) {
                     exp::Point{}.set("gw", gw).set("mean", churn[i]));
     grid.add_case(std::string("silent-") + gw,
                   exp::Point{}.set("gw", gw).set("silent", "1"));
+    const auto* kexp = opt.smoke ? kexp_smoke : kexp_full;
+    const std::size_t n_kexp =
+        opt.smoke ? std::size(kexp_smoke) : std::size(kexp_full);
+    for (std::size_t i = 0; i < n_kexp; ++i)
+      grid.add_case(std::string("kexp-") + gw, exp::Point{}
+                                                   .set("gw", gw)
+                                                   .set("k", kexp[i])
+                                                   .set("loss", 0.02));
   }
 
   const exp::RunFn run = [&](const exp::RunSpec& spec) {
@@ -122,6 +141,13 @@ int main(int argc, char** argv) {
     if (churn_mean > 0.0) {
       cfg.churn_mean_interval = churn_mean;
       cfg.churn_rejoin_after = 5.0;
+    }
+    const double kexp = spec.point.get_double("k", -1.0);
+    if (kexp >= 0.0) {
+      cfg.rla.rtt_exponent = kexp;
+      // Heterogeneous leaf RTTs (100..200 ms): on the homogeneous tree
+      // srtt_i == srtt_max and f(x) = x^k is a no-op for every k.
+      cfg.leaf_delay_spread = 1.0;
     }
     if (spec.point.has("silent")) {
       cfg.silent_receiver = 0;
@@ -165,6 +191,30 @@ int main(int argc, char** argv) {
                 r.spec.point.id().c_str(), ratio,
                 r.metrics.get("rla.thrput_pps", 0.0),
                 band.contains(ratio) ? "yes" : "NO");
+  }
+
+  // --- pthresh-exponent verdict -------------------------------------------
+  // Does any f(x) = x^k recover the band under 2% wire loss?
+  for (const char* gw : gateways) {
+    int inband = 0, total = 0;
+    double best_ratio = 0.0, best_k = 0.0;
+    const auto& band = std::string(gw) == "red" ? t1 : t2;
+    for (const auto& r : results.runs()) {
+      if (r.spec.replicate != 0 || !r.ok) continue;
+      if (r.spec.name != std::string("kexp-") + gw) continue;
+      ++total;
+      const double ratio = r.metrics.get("fairness_ratio", 0.0);
+      if (band.contains(ratio)) ++inband;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_k = r.spec.point.get_double("k", 0.0);
+      }
+    }
+    if (total > 0)
+      std::printf(
+          "\nkexp verdict (%s, 2%% wire loss, leaf RTTs 100-200ms): "
+          "%d/%d exponents in band; best ratio %.2f at k=%g\n",
+          gw, inband, total, best_ratio, best_k);
   }
 
   // --- robustness outcome summary ----------------------------------------

@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -103,6 +104,8 @@ Options parse_options(int argc, char** argv) {
         std::fprintf(stderr, "--isolate-cpu must be >= 0 (0 = unlimited)\n");
         std::exit(2);
       }
+    } else if (arg == "--trajectory") {
+      opt.trajectory_path = next_raw("--trajectory");
     } else if (arg == "--isolate-mem") {
       const long long mb = std::atoll(next_raw("--isolate-mem"));
       if (mb < 0) {
@@ -117,7 +120,7 @@ Options parse_options(int argc, char** argv) {
           "          [--timeout S] [--retries N] [--smoke]\n"
           "          [--record-journal DIR] [--replay PATH]\n"
           "          [--checkpoint-events N] [--isolate] [--crash-dir DIR]\n"
-          "          [--isolate-cpu S] [--isolate-mem MB]\n"
+          "          [--isolate-cpu S] [--isolate-mem MB] [--trajectory PATH]\n"
           "  --full        paper-length run (3000 s, statistics after 100 s)\n"
           "  --jobs N      run cases/replicates on N threads (0 = hardware)\n"
           "  --replicates R  repeat each case R times with derived seeds\n"
@@ -131,7 +134,8 @@ Options parse_options(int argc, char** argv) {
           "  --isolate     fork-sandbox every run; crashes are contained\n"
           "  --crash-dir DIR  crash reports + journals (default results/crashes)\n"
           "  --isolate-cpu S  RLIMIT_CPU per isolated run (0 = unlimited)\n"
-          "  --isolate-mem MB  RLIMIT_AS per isolated run (0 = unlimited)\n",
+          "  --isolate-mem MB  RLIMIT_AS per isolated run (0 = unlimited)\n"
+          "  --trajectory PATH  write a run-health JSON snapshot to PATH\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -278,6 +282,41 @@ bool finish_grid_output(
     return false;
   }
   std::printf("exp: wrote %s\n", opt.json_path.c_str());
+  return true;
+}
+
+double peak_rss_mib() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+bool write_trajectory(
+    const Options& opt, const std::string& experiment, double wall_seconds,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  if (opt.trajectory_path.empty()) return true;
+  std::FILE* f = std::fopen(opt.trajectory_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write trajectory %s\n",
+                 opt.trajectory_path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"%s\",\n", experiment.c_str());
+  std::fprintf(f,
+               "  \"config\": {\"duration_s\": %g, \"warmup_s\": %g, "
+               "\"seed\": %llu, \"jobs\": %d, \"smoke\": %s},\n",
+               opt.duration, opt.warmup,
+               static_cast<unsigned long long>(opt.seed), opt.resolved_jobs(),
+               opt.smoke ? "true" : "false");
+  std::fprintf(f, "  \"metrics\": {\n");
+  std::fprintf(f, "    \"wall_seconds\": %.3f,\n", wall_seconds);
+  std::fprintf(f, "    \"peak_rss_mib\": %.1f", peak_rss_mib());
+  for (const auto& [key, value] : metrics)
+    std::fprintf(f, ",\n    \"%s\": %g", key.c_str(), value);
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("trajectory: wrote %s\n", opt.trajectory_path.c_str());
   return true;
 }
 

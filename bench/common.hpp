@@ -41,6 +41,13 @@ struct Options {
   double isolate_cpu = 0.0;        // --isolate-cpu S; RLIMIT_CPU per run
   std::size_t isolate_mem_mb = 0;  // --isolate-mem MB; RLIMIT_AS per run
 
+  /// --trajectory PATH: after the run, write a one-object JSON snapshot of
+  /// the bench's health metrics (throughput, peak RSS, fairness minima) to
+  /// PATH. tools/regen_results.sh points this at the repo-root
+  /// BENCH_<name>.json files so their git history forms a per-PR
+  /// performance trajectory.
+  std::string trajectory_path;
+
   double measured_seconds() const { return duration - warmup; }
 
   /// Worker count after resolving --jobs 0 to the hardware parallelism.
@@ -93,5 +100,16 @@ bool finish_grid_output(
     const std::string& experiment, const Options& opt, const exp::Results& results,
     double wall_seconds,
     std::vector<std::pair<std::string, std::string>> spec_extra = {});
+
+/// Peak resident set size of this process so far, in MiB (ru_maxrss).
+double peak_rss_mib();
+
+/// Writes the --trajectory snapshot: {"experiment", "config", "metrics"}
+/// with flat numeric metrics. No-op (returns true) when path is empty;
+/// returns false and warns on I/O failure. peak_rss_mib and wall seconds
+/// are always included alongside the bench-specific entries.
+bool write_trajectory(
+    const Options& opt, const std::string& experiment, double wall_seconds,
+    const std::vector<std::pair<std::string, double>>& metrics);
 
 }  // namespace rlacast::bench

@@ -1,0 +1,15 @@
+#include "cc/delay_policy.hpp"
+
+namespace rlacast::cc {
+
+CutAction DelayBasedPolicy::on_signal(const SignalContext& ctx) {
+  (void)ctx;  // loss and ECN echo alike: one halving per episode
+  return CutAction::kHalve;
+}
+
+CutAction DelayBasedPolicy::on_timeout(bool repeated_stall) {
+  (void)repeated_stall;
+  return CutAction::kCollapse;
+}
+
+}  // namespace rlacast::cc

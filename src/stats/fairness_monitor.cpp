@@ -1,0 +1,94 @@
+#include "stats/fairness_monitor.hpp"
+
+#include <utility>
+
+namespace rlacast::stats {
+
+FairnessMonitor::FairnessMonitor(sim::Simulator& sim,
+                                 FairnessMonitorConfig config)
+    : sim_(sim), config_(config), timer_(sim, [this] { on_window(); }) {}
+
+void FairnessMonitor::add_probe(FlowProbe probe) {
+  ProbeState st;
+  st.probe = std::move(probe);
+  probes_.push_back(std::move(st));
+  if (!enabled() || armed_) return;
+  // Lazy arming: the first probe schedules the first window close. Window
+  // edges are absolute times so every run with the same config samples at
+  // the same instants regardless of when flows attach.
+  armed_ = true;
+  window_start_ = config_.start;
+  timer_.schedule_at(config_.start + config_.window);
+}
+
+void FairnessMonitor::on_window() {
+  const sim::SimTime t_end = sim_.now();
+  const sim::SimTime span = t_end - window_start_;
+
+  FairnessSample sample;
+  sample.t_end = t_end;
+  sample.throughput_pps.reserve(probes_.size());
+
+  std::vector<double> counted;
+  counted.reserve(probes_.size());
+  for (ProbeState& st : probes_) {
+    const double delivered = st.probe.delivered();
+    const bool limited_now = st.probe.app_limited();
+    const double delta = delivered - st.delivered_at_start;
+    // A window counts for a flow only if the application could have used
+    // the network for the whole window: not limited at either edge.
+    const bool excluded = limited_now || st.limited_at_start;
+    if (excluded || span <= 0.0) {
+      sample.throughput_pps.push_back(-1.0);
+      ++sample.flows_app_limited;
+    } else {
+      const double pps = delta / span;
+      sample.throughput_pps.push_back(pps);
+      counted.push_back(pps);
+      ++sample.flows_counted;
+    }
+    st.delivered_at_start = delivered;
+    st.limited_at_start = limited_now;
+  }
+  sample.jain = jain_index(counted);
+  samples_.push_back(std::move(sample));
+
+  window_start_ = t_end;
+  const sim::SimTime next = t_end + config_.window;
+  if (config_.stop > 0.0 && next > config_.stop) return;
+  timer_.schedule_at(next);
+}
+
+double FairnessMonitor::min_jain() const {
+  double best = -1.0;
+  for (const FairnessSample& s : samples_) {
+    if (s.jain < 0.0) continue;
+    if (best < 0.0 || s.jain < best) best = s.jain;
+  }
+  return best;
+}
+
+double FairnessMonitor::mean_jain() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const FairnessSample& s : samples_) {
+    if (s.jain < 0.0) continue;
+    sum += s.jain;
+    ++n;
+  }
+  return n > 0 ? sum / n : -1.0;
+}
+
+double FairnessMonitor::jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return -1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // all idle: trivially fair
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace rlacast::stats

@@ -16,12 +16,24 @@
 // sample RTT, and the variant-specific recovery plumbing (SACK pipe vs
 // Reno dupack counting and window inflation).
 //
-// The application is an infinite FTP source: there is always data to send.
+// The application is an infinite FTP source by default: there is always
+// data to send.  TcpParams::flow_packets > 0 turns the connection into a
+// finite flow (the src/workload/ web-traffic generator's building block):
+// the sender transmits exactly that many packets, reports completion
+// through set_on_complete, and goes quiescent — and while the tail of a
+// finite flow (or a completed one) cannot fill its window, app_limited()
+// is true so the fairness telemetry can exclude those windows from band
+// checks (a flow that WON'T use its share is not evidence about one that
+// CAN'T get it).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 
+#include "cc/bbr_policy.hpp"
+#include "cc/delay_policy.hpp"
 #include "cc/loss_policy.hpp"
 #include "cc/peer_state.hpp"
 #include "cc/rto_manager.hpp"
@@ -40,9 +52,14 @@ namespace rlacast::tcp {
 /// (the paper cites Fall & Floyd's Tahoe/Reno/SACK study for the "multiple
 /// drops in one window = one signal" behaviour).
 enum class TcpVariant {
-  kSack,  // scoreboard loss detection + pipe-based recovery (default)
-  kReno,  // dupack-count fast retransmit + window-inflation fast recovery
-  kTahoe  // dupack-count fast retransmit, then slow start from 1
+  kSack,   // scoreboard loss detection + pipe-based recovery (default)
+  kReno,   // dupack-count fast retransmit + window-inflation fast recovery
+  kTahoe,  // dupack-count fast retransmit, then slow start from 1
+  // Modern competitors (ROADMAP item 3; not part of the paper's evaluation):
+  kVegas,  // delay-based: once-per-RTT srtt-gradient window adjustment
+           // (cc::DelayGradient) over Reno loss mechanics
+  kBbr     // BBR-style: windowed max-bandwidth / min-RTT model (cc::BbrModel)
+           // paces sends and caps cwnd; grouped losses do not cut
 };
 
 struct TcpParams {
@@ -65,6 +82,15 @@ struct TcpParams {
   // CE (ECE on an ACK) as a congestion signal — one window halving per
   // episode, no packet loss required. Needs ECN-enabled RED gateways.
   bool ecn = false;
+  /// Finite-flow size in packets; 0 keeps the historical infinite FTP
+  /// source. When > 0 the connection sends exactly this many packets,
+  /// fires the on_complete callback once fully acknowledged, and goes
+  /// quiescent (timers cancelled).
+  std::int64_t flow_packets = 0;
+  /// Vegas-style tuning (kVegas only).
+  cc::DelayGradientParams vegas{};
+  /// BBR-style tuning (kBbr only).
+  cc::BbrParams bbr{};
 };
 
 class TcpSender final : public net::Agent {
@@ -80,6 +106,12 @@ class TcpSender final : public net::Agent {
   /// Opens the connection at absolute simulation time `when`.
   void start_at(sim::SimTime when);
 
+  /// Completion callback for finite flows (flow_packets > 0): fired exactly
+  /// once, when every packet of the flow has been cumulatively acknowledged.
+  /// The callback may construct new senders (the web workload's user loop)
+  /// but must not destroy this one.
+  void set_on_complete(std::function<void()> cb) { on_complete_ = std::move(cb); }
+
   void on_receive(const net::Packet& p) override;
 
   // --- observability ---------------------------------------------------------
@@ -88,22 +120,41 @@ class TcpSender final : public net::Agent {
   bool in_recovery() const { return grouper_.in_episode(); }
   net::SeqNum highest_sent() const { return peer_.sb.high(); }
   net::SeqNum una() const { return peer_.sb.una(); }
+  /// Finite flows only: all flow_packets acknowledged, sender quiescent.
+  bool done() const { return done_; }
+  /// True when the application, not the network, is the throughput limit
+  /// right now: the connection has not started, has completed, or a finite
+  /// flow's remaining data cannot fill the congestion window. Sampled by
+  /// stats::FairnessMonitor to mark windows that must not count as
+  /// fairness evidence.
+  bool app_limited() const;
   const cc::RttEstimator& rtt() const { return peer_.rtt; }
   stats::FlowMeasurement& measurement() { return meas_; }
   const stats::FlowMeasurement& measurement() const { return meas_; }
   const TcpParams& params() const { return params_; }
 
+  // kVegas observability.
+  const cc::DelayGradient& delay_gradient() const { return vegas_; }
+  // kBbr observability.
+  const cc::BbrModel& bbr_model() const { return bbr_; }
+
  private:
   void on_ack(const net::Packet& ack);
   void on_ack_sack(const net::Packet& ack, std::int64_t newly_acked);
   void on_ack_reno(const net::Packet& ack, std::int64_t newly_acked);
+  void on_rtt_sample_vegas(double sample);
+  void on_delivery_sample_bbr(const net::Packet& ack, std::int64_t newly_acked);
   void grow_window();
   void apply_cut(cc::CutAction action);
   cc::SignalContext signal_ctx(bool from_ecn) const;
   void on_timeout();
   void send_what_we_can();
+  void pace_bbr();
+  bool send_one_eligible(std::int64_t cwnd);
   void send_packet(net::SeqNum seq, bool rexmit);
   void restart_rexmit_timer();
+  net::SeqNum flow_limit() const;
+  void maybe_complete();
 
   net::Network& network_;
   sim::Simulator& sim_;
@@ -122,9 +173,28 @@ class TcpSender final : public net::Agent {
   std::unique_ptr<cc::LossResponsePolicy> policy_;  // one heap alloc, in ctor
 
   bool started_ = false;
+  bool done_ = false;
+  std::function<void()> on_complete_;
   // Reno/Tahoe dupack machinery.
   int dupacks_ = 0;
   double inflation_ = 0.0;  // Reno fast-recovery window inflation
+
+  // kVegas: the srtt-gradient core plus the once-per-RTT epoch marker.
+  cc::DelayGradient vegas_;
+  net::SeqNum vegas_epoch_end_ = 0;
+
+  // kBbr: the bandwidth/propagation model, the pacing timer, per-packet
+  // delivered-count records for BBR-style rate samples, and round tracking.
+  cc::BbrModel bbr_;
+  sim::Timer pace_timer_;
+  std::int64_t delivered_ = 0;  // cumulative cleanly-delivered packets
+  struct DeliveryRecord {
+    std::int64_t delivered_at_send = 0;
+    sim::SimTime sent_at = 0.0;
+  };
+  std::map<net::SeqNum, DeliveryRecord> delivery_records_;
+  net::SeqNum bbr_round_end_ = 0;
+  net::SeqNum last_timeout_una_ = -1;  // repeated-stall detection (kBbr)
 
   stats::FlowMeasurement meas_;
 };

@@ -118,10 +118,32 @@ FlatTreeResult run_flat_tree(const FlatTreeConfig& cfg) {
     }
   }
 
-  // --- start times: jittered to desynchronize --------------------------------
+  // --- fairness telemetry (inert unless cfg.fairness.window > 0) --------------
+  stats::FairnessMonitor fmon(sim, cfg.fairness);
+  if (fmon.enabled()) {
+    if (rla_sender) {
+      rla::RlaSender* m = rla_sender.get();
+      fmon.add_probe(
+          {"rla",
+           [m] { return static_cast<double>(m->measurement().total_acked()); },
+           [] { return false; }});
+    }
+    for (std::size_t i = 0; i < tcp_senders.size(); ++i) {
+      tcp::TcpSender* t = tcp_senders[i].get();
+      fmon.add_probe(
+          {"tcp-" + std::to_string(i),
+           [t] { return static_cast<double>(t->measurement().total_acked()); },
+           [t] { return t->app_limited(); }});
+    }
+  }
+
+  // --- start times: scheduled to desynchronize --------------------------------
   auto starts = sim.rng_stream("start-jitter");
-  for (auto& t : tcp_senders) t->start_at(starts.uniform(0.0, 1.0));
-  if (rla_sender) rla_sender->start_at(starts.uniform(0.0, 1.0));
+  int start_idx = 0;
+  for (auto& t : tcp_senders)
+    t->start_at(workload::start_time(cfg.schedule, start_idx++, starts));
+  if (rla_sender)
+    rla_sender->start_at(workload::start_time(cfg.schedule, start_idx++, starts));
 
   // --- run -------------------------------------------------------------------
   sim.at(cfg.warmup, [&] {
@@ -144,6 +166,9 @@ FlatTreeResult run_flat_tree(const FlatTreeConfig& cfg) {
   for (auto& t : tcp_senders)
     res.tcps.push_back(make_row(t->measurement(), cfg.duration));
   res.tcp_branch = std::move(tcp_branch);
+  res.fairness_samples = fmon.samples();
+  res.min_jain = fmon.min_jain();
+  res.mean_jain = fmon.mean_jain();
   for (net::Link* l : bottleneck_links)
     res.bottleneck_drop_rate.push_back(l->queue().stats().drop_rate());
   return res;

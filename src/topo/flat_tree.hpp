@@ -16,8 +16,10 @@
 #include "net/red.hpp"
 #include "rla/rla_params.hpp"
 #include "sim/time.hpp"
+#include "stats/fairness_monitor.hpp"
 #include "tcp/tcp_sender.hpp"
 #include "topo/flow_rows.hpp"
+#include "workload/workload.hpp"
 
 namespace rlacast::sim {
 class Simulator;
@@ -58,6 +60,11 @@ struct FlatTreeConfig {
   /// built; the replay subsystem installs its RunObserver here. Empty =
   /// unobserved (default).
   std::function<void(sim::Simulator&)> instrument;
+  /// Start-time layout for all senders (kJitter default = the historical
+  /// uniform(0,1) draws, byte-identical).
+  workload::StartScheduleConfig schedule{};
+  /// Sliding-window Jain telemetry over {RLA + TCPs}; window 0 = off.
+  stats::FairnessMonitorConfig fairness{};
 };
 
 struct FlatTreeResult {
@@ -69,6 +76,10 @@ struct FlatTreeResult {
   double rla_mcast_rexmits = 0.0;
   double rla_ucast_rexmits = 0.0;
   int num_troubled_final = 0;
+  /// Jain-index telemetry (empty / -1 unless fairness.window > 0).
+  std::vector<stats::FairnessSample> fairness_samples;
+  double min_jain = -1.0;
+  double mean_jain = -1.0;
 
   const FlowRow& worst_tcp() const { return tcps[worst_index(tcps)]; }
   const FlowRow& best_tcp() const { return tcps[best_index(tcps)]; }

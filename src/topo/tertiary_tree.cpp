@@ -198,8 +198,12 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
   double slowest_bps = cfg.fast_link_bps;
   std::vector<net::Link*> bottleneck_links;
   for (const auto& lr : link_refs) {
-    net::LinkConfig c = base.with_delay(lr.level == 4 ? cfg.leaf_delay
-                                                      : cfg.upper_delay);
+    sim::SimTime hop_delay =
+        lr.level == 4 ? cfg.leaf_delay : cfg.upper_delay;
+    if (lr.level == 4 && cfg.leaf_delay_spread > 0.0)
+      hop_delay *= 1.0 + cfg.leaf_delay_spread *
+                             static_cast<double>(lr.index - 1) / 26.0;
+    net::LinkConfig c = base.with_delay(hop_delay);
     if (is_congested(lr)) {
       // The paper's capacity rule: soft-bottleneck share = mu / (m + 1).
       // §5.2 adds its second multicast session WITHOUT re-scaling links
@@ -300,27 +304,89 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
     watchdog->start();
   }
 
-  // --- background TCP: one connection from S to every LEAF --------------------
+  // --- background traffic: one source from S to every LEAF --------------------
+  // kFtp (default) and kOnOff build the paper's infinite FTP connections;
+  // kWeb replaces them with WebFlowSources; kOnOff additionally lays one
+  // OnOffSource of datagram cross-traffic over every leaf.
   std::vector<std::unique_ptr<tcp::TcpSender>> tcp_senders;
   std::vector<std::unique_ptr<tcp::TcpReceiver>> tcp_receivers;
-  for (std::size_t i = 0; i < leaf.size(); ++i) {
-    const net::PortId port = 100 + static_cast<net::PortId>(i);
-    tcp::TcpParams tp = cfg.tcp;
-    tp.max_send_overhead = overhead;
-    tcp_receivers.push_back(std::make_unique<tcp::TcpReceiver>(
-        net, leaf[i], port, net::kAckPacketBytes, overhead));
-    tcp_senders.push_back(std::make_unique<tcp::TcpSender>(
-        net, s, port, leaf[i], port, static_cast<net::FlowId>(i + 1), tp));
+  std::vector<std::unique_ptr<workload::WebFlowSource>> web_sources;
+  std::vector<std::unique_ptr<workload::OnOffSource>> onoff_sources;
+  std::vector<std::unique_ptr<workload::PacketSink>> onoff_sinks;
+  if (cfg.traffic.kind == workload::TrafficKind::kWeb) {
+    for (std::size_t i = 0; i < leaf.size(); ++i) {
+      workload::WebConfig wc = cfg.traffic.web;
+      wc.tcp = cfg.tcp;  // one source of TCP truth per run: TreeConfig::tcp
+      wc.tcp.max_send_overhead = overhead;
+      const auto block = static_cast<net::PortId>(30000 + 1000 * i);
+      web_sources.push_back(std::make_unique<workload::WebFlowSource>(
+          net, s, leaf[i], block, block,
+          static_cast<net::FlowId>(2000 + 1000 * i),
+          "workload-web-" + std::to_string(i), wc));
+    }
+  } else {
+    for (std::size_t i = 0; i < leaf.size(); ++i) {
+      const net::PortId port = 100 + static_cast<net::PortId>(i);
+      tcp::TcpParams tp = cfg.tcp;
+      tp.max_send_overhead = overhead;
+      tcp_receivers.push_back(std::make_unique<tcp::TcpReceiver>(
+          net, leaf[i], port, net::kAckPacketBytes, overhead));
+      tcp_senders.push_back(std::make_unique<tcp::TcpSender>(
+          net, s, port, leaf[i], port, static_cast<net::FlowId>(i + 1), tp));
+    }
+  }
+  if (cfg.traffic.kind == workload::TrafficKind::kOnOff) {
+    for (std::size_t i = 0; i < leaf.size(); ++i) {
+      const auto port = static_cast<net::PortId>(40000 + i);
+      onoff_sinks.push_back(
+          std::make_unique<workload::PacketSink>(net, leaf[i], port));
+      onoff_sources.push_back(std::make_unique<workload::OnOffSource>(
+          net, s, port, leaf[i], port, static_cast<net::FlowId>(5000 + i),
+          "workload-onoff-" + std::to_string(i), cfg.traffic.onoff));
+    }
+  }
+
+  // --- fairness telemetry (inert unless cfg.fairness.window > 0) --------------
+  stats::FairnessMonitor fmon(sim, cfg.fairness);
+  if (fmon.enabled()) {
+    rla::RlaSender* sess0 = rla_senders.front().get();
+    fmon.add_probe(
+        {"rla0",
+         [sess0] { return static_cast<double>(sess0->measurement().total_acked()); },
+         [] { return false; }});  // infinite multicast source
+    for (std::size_t i = 0; i < tcp_senders.size(); ++i) {
+      tcp::TcpSender* t = tcp_senders[i].get();
+      fmon.add_probe(
+          {"tcp-" + std::to_string(i),
+           [t] { return static_cast<double>(t->measurement().total_acked()); },
+           [t] { return t->app_limited(); }});
+    }
+    for (std::size_t i = 0; i < web_sources.size(); ++i) {
+      workload::WebFlowSource* w = web_sources[i].get();
+      fmon.add_probe({"web-" + std::to_string(i),
+                      [w] { return static_cast<double>(w->delivered_total()); },
+                      [w] { return w->poll_app_limited(); }});
+    }
   }
 
   auto starts = sim.rng_stream("start-jitter");
-  for (auto& t : tcp_senders) t->start_at(starts.uniform(0.0, 1.0));
-  for (auto& m : rla_senders) m->start_at(starts.uniform(0.0, 1.0));
+  int start_idx = 0;
+  for (auto& t : tcp_senders)
+    t->start_at(workload::start_time(cfg.traffic.schedule, start_idx++, starts));
+  for (auto& w : web_sources)
+    w->start_at(workload::start_time(cfg.traffic.schedule, start_idx++, starts));
+  for (auto& o : onoff_sources)
+    o->start_at(workload::start_time(cfg.traffic.schedule, start_idx++, starts));
+  for (auto& m : rla_senders)
+    m->start_at(workload::start_time(cfg.traffic.schedule, start_idx++, starts));
 
   TreeResult res;
+  std::vector<std::int64_t> web_delivered_at_warmup(web_sources.size(), 0);
   sim.at(cfg.warmup, [&] {
     for (auto& m : rla_senders) m->measurement().begin_measurement(sim.now());
     for (auto& t : tcp_senders) t->measurement().begin_measurement(sim.now());
+    for (std::size_t i = 0; i < web_sources.size(); ++i)
+      web_delivered_at_warmup[i] = web_sources[i]->delivered_total();
   });
   std::unique_ptr<sim::Timer> sampler;
   if (cfg.window_sample_period > 0.0) {
@@ -342,6 +408,45 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
     res.tcps.push_back(make_row(t->measurement(), cfg.duration));
     res.tcp_signals.push_back(t->measurement().congestion_signals());
   }
+  // kWeb: synthesize one aggregate row per leaf "user" so worst_tcp()/
+  // best_tcp() and the figure plumbing keep working. Throughput is the
+  // post-warmup delivered rate; the counters sum over every fetch.
+  const double measured_span = cfg.duration - cfg.warmup;
+  for (std::size_t i = 0; i < web_sources.size(); ++i) {
+    const workload::WebFlowSource& w = *web_sources[i];
+    FlowRow row;
+    row.throughput_pps =
+        measured_span > 0.0
+            ? static_cast<double>(w.delivered_total() -
+                                  web_delivered_at_warmup[i]) /
+                  measured_span
+            : 0.0;
+    double rtt_sum = 0.0;
+    int rtt_n = 0;
+    for (const auto& snd : w.senders()) {
+      const stats::FlowMeasurement& m = snd->measurement();
+      row.cong_signals += m.congestion_signals();
+      row.window_cuts += m.window_cuts();
+      row.forced_cuts += m.forced_cuts();
+      row.timeouts += m.timeouts();
+      if (m.avg_rtt() > 0.0) {
+        rtt_sum += m.avg_rtt();
+        ++rtt_n;
+      }
+    }
+    row.avg_rtt = rtt_n > 0 ? rtt_sum / rtt_n : 0.0;
+    res.tcps.push_back(row);
+    res.tcp_signals.push_back(row.cong_signals);
+    res.web_flows_started += w.flows_started();
+    res.web_flows_completed += w.flows_completed();
+    res.workload_fingerprint ^= w.schedule_fingerprint();
+  }
+  for (const auto& o : onoff_sources) res.onoff_packets_sent += o->packets_sent();
+  for (const auto& sk : onoff_sinks)
+    res.onoff_packets_received += sk->packets_received();
+  res.fairness_samples = fmon.samples();
+  res.min_jain = fmon.min_jain();
+  res.mean_jain = fmon.mean_jain();
   auto& first = *rla_senders.front();
   for (std::size_t i = 0; i < n_rcvrs; ++i)
     res.rla_signals_per_receiver.push_back(

@@ -21,9 +21,11 @@
 #include "net/red.hpp"
 #include "rla/rla_params.hpp"
 #include "sim/time.hpp"
+#include "stats/fairness_monitor.hpp"
 #include "tcp/tcp_sender.hpp"
 #include "topo/flat_tree.hpp"  // GatewayType
 #include "topo/flow_rows.hpp"
+#include "workload/workload.hpp"
 
 namespace rlacast::sim {
 class Simulator;
@@ -54,6 +56,12 @@ struct TreeConfig {
   net::RedParams red{};
   sim::SimTime upper_delay = sim::milliseconds(5);   // levels 1-3
   sim::SimTime leaf_delay = sim::milliseconds(100);  // level 4
+  /// Per-leaf RTT heterogeneity: leaf i's 100 ms hop is scaled by
+  /// 1 + spread * (i-1)/26, so spread = 1 spans 100..200 ms across the 27
+  /// leaves. 0 (default) keeps the paper's homogeneous tree. Pair with
+  /// rla.rtt_exponent > 0 to exercise the generalized pthresh, which is a
+  /// no-op when every srtt_i equals srtt_max.
+  double leaf_delay_spread = 0.0;
   int multicast_sessions = 1;   // 2 reproduces §5.2
   bool gateway_receivers = false;  // adds G31..G39 as receivers (fig. 10)
   bool phase_randomization = true;
@@ -93,6 +101,19 @@ struct TreeConfig {
   /// run is journaled or checked. Empty = run unobserved (the default; the
   /// run is byte-identical either way).
   std::function<void(sim::Simulator&)> instrument;
+
+  // --- workload layer (src/workload/, ISSUE 6) -----------------------------
+  /// Background-traffic mix. kFtp (the default) builds the paper's 27
+  /// infinite FTP senders exactly as before — no new streams, timers or
+  /// draws, byte-identical to the seed. kWeb replaces them with one
+  /// WebFlowSource per leaf (think / heavy-tailed fetch / think); kOnOff
+  /// keeps the FTPs and adds one OnOffSource of datagram cross-traffic per
+  /// leaf. The schedule sub-config also selects the start-time layout for
+  /// whatever senders run.
+  workload::TrafficSpec traffic{};
+  /// Sliding-window Jain-index telemetry over {RLA session 0 + background
+  /// flows}. window == 0 (default) keeps the monitor inert.
+  stats::FairnessMonitorConfig fairness{};
 };
 
 struct TreeResult {
@@ -122,6 +143,20 @@ struct TreeResult {
   int active_receivers_final = 0;        // session 0 members still active
   bool watchdog_ok = true;               // no invariant violations recorded
   std::string watchdog_report;           // "" when ok
+
+  // --- workload + fairness telemetry ---------------------------------------
+  /// One sample per fairness window (empty unless fairness.window > 0).
+  std::vector<stats::FairnessSample> fairness_samples;
+  double min_jain = -1.0;   // worst window with evidence; -1 = none
+  double mean_jain = -1.0;
+  /// kWeb: totals across all 27 WebFlowSources, plus the XOR of their
+  /// schedule fingerprints (two runs drew the same flows iff equal).
+  int web_flows_started = 0;
+  int web_flows_completed = 0;
+  std::uint64_t workload_fingerprint = 0;
+  /// kOnOff: cross-traffic packet totals (sent vs delivered at the sinks).
+  std::int64_t onoff_packets_sent = 0;
+  std::int64_t onoff_packets_received = 0;
 
   const FlowRow& worst_tcp() const { return tcps[worst_index(tcps)]; }
   const FlowRow& best_tcp() const { return tcps[best_index(tcps)]; }

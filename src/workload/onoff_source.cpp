@@ -1,0 +1,70 @@
+#include "workload/onoff_source.hpp"
+
+namespace rlacast::workload {
+
+PacketSink::PacketSink(net::Network& network, net::NodeId node,
+                       net::PortId port) {
+  network.attach(node, port, this);
+}
+
+void PacketSink::on_receive(const net::Packet& p) {
+  if (p.type == net::PacketType::kData) ++received_;
+}
+
+OnOffSource::OnOffSource(net::Network& network, net::NodeId node,
+                         net::PortId port, net::NodeId dst_node,
+                         net::PortId dst_port, net::FlowId flow,
+                         const std::string& name, OnOffConfig config)
+    : network_(network),
+      sim_(network.simulator()),
+      node_(node),
+      port_(port),
+      dst_node_(dst_node),
+      dst_port_(dst_port),
+      flow_(flow),
+      config_(config),
+      rng_(sim_.rng_stream(name)),
+      gate_timer_(sim_, [this] {
+        if (on_)
+          begin_off();
+        else
+          begin_on();
+      }),
+      send_timer_(sim_, [this] { emit(); }) {}
+
+void OnOffSource::start_at(sim::SimTime when) {
+  sim_.at(when, [this] { begin_on(); });
+}
+
+void OnOffSource::begin_on() {
+  on_ = true;
+  gate_timer_.schedule(rng_.exponential(config_.mean_on));
+  emit();
+}
+
+void OnOffSource::begin_off() {
+  on_ = false;
+  send_timer_.cancel();
+  gate_timer_.schedule(rng_.exponential(config_.mean_off));
+}
+
+void OnOffSource::emit() {
+  if (!on_ || config_.rate_pps <= 0.0) return;
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.flow = flow_;
+  p.src = node_;
+  p.dst = dst_node_;
+  p.src_port = port_;
+  p.dst_port = dst_port_;
+  p.size_bytes = config_.packet_bytes;
+  p.seq = next_seq_++;
+  network_.inject(p);
+  ++sent_;
+  const double mean_gap = 1.0 / config_.rate_pps;
+  // CBR: even spacing. VBR: exponential gaps with the same mean (Poisson
+  // while ON) — one extra draw per packet, cleanly journaled.
+  send_timer_.schedule(config_.vbr ? rng_.exponential(mean_gap) : mean_gap);
+}
+
+}  // namespace rlacast::workload

@@ -1,0 +1,20 @@
+#include "workload/workload.hpp"
+
+namespace rlacast::workload {
+
+sim::SimTime start_time(const StartScheduleConfig& cfg, int index,
+                        sim::Rng& rng) {
+  switch (cfg.kind) {
+    case StartScheduleConfig::Kind::kJitter:
+      // The historical topo-builder draw, byte-for-byte: uniform(0, 1).
+      return rng.uniform(0.0, 1.0);
+    case StartScheduleConfig::Kind::kStaggered:
+      return static_cast<double>(index) * cfg.spacing +
+             rng.uniform(0.0, cfg.window);
+    case StartScheduleConfig::Kind::kRandomized:
+      return rng.uniform(0.0, cfg.window);
+  }
+  return 0.0;
+}
+
+}  // namespace rlacast::workload

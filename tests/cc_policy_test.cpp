@@ -11,6 +11,8 @@
 #include <cmath>
 #include <vector>
 
+#include "cc/bbr_policy.hpp"
+#include "cc/delay_policy.hpp"
 #include "cc/loss_policy.hpp"
 #include "cc/rla_policy.hpp"
 #include "cc/signal_grouper.hpp"
@@ -227,6 +229,171 @@ TEST(SignalGrouper, PeriodOpensOncePerSpan) {
   EXPECT_FALSE(g.try_open_period(0.3, 0.4));  // inside the period
   EXPECT_FALSE(g.try_open_period(0.4, 0.4));  // exactly at the edge: closed
   EXPECT_TRUE(g.try_open_period(0.41, 0.4));  // strictly past: new period
+}
+
+// --- delay-based competitor (cc::DelayGradient + cc::DelayBasedPolicy) ----
+
+TEST(DelayGradient, TracksBaseRttMinimum) {
+  DelayGradient g;
+  EXPECT_FALSE(g.valid());
+  g.add_sample(0.10);
+  g.add_sample(0.12);
+  g.add_sample(0.09);
+  g.add_sample(0.15);
+  EXPECT_TRUE(g.valid());
+  EXPECT_DOUBLE_EQ(g.base_rtt(), 0.09);
+  EXPECT_DOUBLE_EQ(g.last_rtt(), 0.15);
+  g.reset();
+  EXPECT_FALSE(g.valid());
+  EXPECT_EQ(g.decide(10.0), DelayGradient::Verdict::kHold);
+}
+
+TEST(DelayGradient, BacklogAndVerdictThresholds) {
+  // backlog = cwnd * (rtt - base) / rtt, judged against alpha=2 / beta=4.
+  // Values keep the backlog safely off the thresholds — the thresholds are
+  // strict inequalities and these are doubles.
+  DelayGradient g;
+  g.add_sample(0.100);  // base
+  g.add_sample(0.200);  // rtt doubled: backlog = cwnd / 2
+  EXPECT_NEAR(g.backlog(6.0), 3.0, 1e-9);
+  EXPECT_EQ(g.decide(6.0), DelayGradient::Verdict::kHold);  // 2 < 3 < 4
+  EXPECT_EQ(g.decide(2.0), DelayGradient::Verdict::kIncrease);  // 1 < alpha
+  EXPECT_EQ(g.decide(10.0), DelayGradient::Verdict::kDecrease);  // 5 > beta
+  // Empty queue (rtt back at base): backlog ~0, always grow.
+  g.add_sample(0.100);
+  EXPECT_NEAR(g.backlog(50.0), 0.0, 1e-9);
+  EXPECT_EQ(g.decide(50.0), DelayGradient::Verdict::kIncrease);
+}
+
+TEST(DelayGradient, SlowStartExitsOnGammaBacklog) {
+  DelayGradient g;
+  EXPECT_FALSE(g.slow_start_done(100.0));  // no samples: keep growing
+  g.add_sample(0.100);
+  g.add_sample(0.120);
+  // backlog = cwnd/6: cwnd 4 -> 0.67 < gamma, cwnd 10 -> 1.67 > gamma.
+  EXPECT_FALSE(g.slow_start_done(4.0));
+  EXPECT_TRUE(g.slow_start_done(10.0));
+}
+
+TEST(DelayBasedPolicy, KeepsTcpLossSafetyNet) {
+  // Vegas replaces the probing, not the loss reaction: halve per episode
+  // (loss or ECN alike), collapse on any timeout, recovery floor 2.
+  DelayBasedPolicy p;
+  SignalContext loss;
+  SignalContext ecn;
+  ecn.from_ecn = true;
+  EXPECT_EQ(p.on_signal(loss), CutAction::kHalve);
+  EXPECT_EQ(p.on_signal(ecn), CutAction::kHalve);
+  EXPECT_EQ(p.on_timeout(false), CutAction::kCollapse);
+  EXPECT_EQ(p.on_timeout(true), CutAction::kCollapse);
+  EXPECT_DOUBLE_EQ(p.halve_floor(), 2.0);
+}
+
+// --- BBR-style competitor (cc::BbrModel + cc::BbrRatePolicy) --------------
+
+/// One steady round: constant delivery rate `bw` pps at RTT `rtt`.
+void feed_round(BbrModel& m, sim::SimTime now, double bw, sim::SimTime rtt) {
+  m.on_sample(now, bw * 0.01, 0.01, rtt);
+  m.on_round(now);
+}
+
+TEST(BbrModel, StartupDrainProbeBwProgression) {
+  BbrModel m;
+  EXPECT_EQ(m.mode(), BbrModel::Mode::kStartup);
+  EXPECT_DOUBLE_EQ(m.pacing_gain(), 2.885);
+
+  // Constant 100 pps: the very first round "grows" from 0 and resets the
+  // counter; the next startup_full_bw_rounds (3) flat rounds exit Startup.
+  // Rounds are spaced 1 s apart (>> min_rtt 0.1) so the ProbeBW phase
+  // clock below fires on every round without float-boundary games.
+  sim::SimTime now = 0.0;
+  for (int i = 0; i < 4 && m.mode() == BbrModel::Mode::kStartup; ++i)
+    feed_round(m, now += 1.0, 100.0, 0.1);
+  EXPECT_EQ(m.mode(), BbrModel::Mode::kDrain);
+  EXPECT_DOUBLE_EQ(m.pacing_gain(), 0.3465);
+  EXPECT_DOUBLE_EQ(m.btlbw_pps(), 100.0);
+  EXPECT_DOUBLE_EQ(m.min_rtt(), 0.1);
+
+  // One drain round, then steady ProbeBW starting at the 1.25 probe phase.
+  feed_round(m, now += 1.0, 100.0, 0.1);
+  EXPECT_EQ(m.mode(), BbrModel::Mode::kProbeBw);
+  EXPECT_EQ(m.cycle_phase(), 0);
+  EXPECT_DOUBLE_EQ(m.pacing_gain(), 1.25);
+
+  // Phases rotate once per min_rtt: 1.25 -> 0.75 -> 1.0 ...
+  feed_round(m, now += 1.0, 100.0, 0.1);
+  EXPECT_DOUBLE_EQ(m.pacing_gain(), 0.75);
+  feed_round(m, now += 1.0, 100.0, 0.1);
+  EXPECT_DOUBLE_EQ(m.pacing_gain(), 1.0);
+}
+
+TEST(BbrModel, CwndCapIsGainTimesBdp) {
+  BbrModel m;
+  EXPECT_DOUBLE_EQ(m.cwnd_cap(), 4.0);  // no model yet: ACK-clock floor
+  feed_round(m, 0.1, 100.0, 0.1);
+  // BDP = 100 pps * 0.1 s = 10 pkts; cap = cwnd_gain (2) * BDP.
+  EXPECT_DOUBLE_EQ(m.cwnd_cap(), 20.0);
+}
+
+TEST(BbrModel, WindowedMaxForgetsOldBandwidth) {
+  BbrModel m;
+  sim::SimTime now = 0.0;
+  feed_round(m, now += 0.1, 200.0, 0.1);
+  EXPECT_DOUBLE_EQ(m.btlbw_pps(), 200.0);
+  // 200-pps sample ages out of the bw_window_rtts=10 round window.
+  for (int i = 0; i < 10; ++i) feed_round(m, now += 0.1, 100.0, 0.1);
+  EXPECT_DOUBLE_EQ(m.btlbw_pps(), 100.0);
+}
+
+TEST(BbrModel, ResetBwForgetsBandwidthKeepsMinRtt) {
+  BbrModel m;
+  sim::SimTime now = 0.0;
+  for (int i = 0; i < 5; ++i) feed_round(m, now += 0.1, 100.0, 0.1);
+  ASSERT_GT(m.btlbw_pps(), 0.0);
+  m.reset_bw();
+  EXPECT_DOUBLE_EQ(m.btlbw_pps(), 0.0);
+  EXPECT_EQ(m.mode(), BbrModel::Mode::kStartup);
+  // Propagation estimate survives — loss does not change the path length.
+  EXPECT_DOUBLE_EQ(m.min_rtt(), 0.1);
+  EXPECT_DOUBLE_EQ(m.cwnd_cap(), 4.0);
+}
+
+TEST(BbrRatePolicy, IgnoresLossCollapsesOnRepeatedStall) {
+  // The designed misbehaviour the workload bench measures: loss episodes
+  // do not cut (the model sets the rate); only a repeated timeout stall
+  // collapses to restart the ACK clock.
+  BbrRatePolicy p;
+  SignalContext loss;
+  EXPECT_EQ(p.on_signal(loss), CutAction::kNone);
+  EXPECT_EQ(p.on_timeout(false), CutAction::kNone);
+  EXPECT_EQ(p.on_timeout(true), CutAction::kCollapse);
+}
+
+TEST(DeterminismGuard, CompetitorCoresAreRngFree) {
+  // Neither competitor core may consume randomness: interleave heavy use
+  // of both with draws from an Rng and check the draw sequence matches a
+  // virgin Rng with the same seed. (The classes cannot even reach an Rng
+  // today — this pins the contract against future parameter additions, the
+  // same way the RLA draw-order tests pin pthresh's single draw.)
+  sim::Rng used(99);
+  sim::Rng virgin(99);
+  DelayGradient g;
+  BbrModel m;
+  DelayBasedPolicy dp;
+  BbrRatePolicy bp;
+  SignalContext ctx;
+  for (int i = 0; i < 50; ++i) {
+    g.add_sample(0.1 + 0.001 * i);
+    (void)g.decide(10.0);
+    (void)g.slow_start_done(10.0);
+    m.on_sample(0.1 * i, 1.0, 0.01, 0.1);
+    m.on_round(0.1 * i);
+    (void)dp.on_signal(ctx);
+    (void)bp.on_signal(ctx);
+    (void)dp.on_timeout(i % 2 == 0);
+    (void)bp.on_timeout(i % 2 == 0);
+    EXPECT_DOUBLE_EQ(used.uniform(), virgin.uniform()) << "draw " << i;
+  }
 }
 
 TEST(SignalGrouper, EpisodeTracksRecoveryPoint) {

@@ -3,6 +3,9 @@
 #   test_output.txt   - full ctest run
 #   bench_output.txt  - every bench binary at its default (scaled) settings
 #   results/*.json    - machine-readable batches from the exp/-migrated benches
+#   BENCH_*.json      - repo-root trajectory snapshots (engine throughput,
+#                       workload fairness minima, peak RSS) whose git history
+#                       tracks the perf/fairness trend across PRs
 # Benches migrated onto the exp:: runner get --jobs $(nproc) (case-level
 # parallelism; per-run seeds are thread-count independent, so the text
 # tables are unchanged) and write their results.json into results/.
@@ -19,11 +22,20 @@ ctest --test-dir "$ROOT/$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
 mkdir -p "$ROOT/results"
 
 # Benches migrated onto the exp/ runner (accept --jobs/--json).
-exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession bench_engine bench_robustness"
+exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession bench_engine bench_robustness bench_workload"
 is_exp_bench() {
   local name="$1" b
   for b in $exp_benches; do [ "$b" = "$name" ] && return 0; done
   return 1
+}
+
+# Benches that also emit a repo-root trajectory snapshot.
+trajectory_args() {
+  case "$1" in
+    bench_engine)   echo "--trajectory $ROOT/BENCH_engine.json" ;;
+    bench_workload) echo "--trajectory $ROOT/BENCH_workload.json" ;;
+    *)              echo "" ;;
+  esac
 }
 
 : > "$ROOT/bench_output.txt"
@@ -32,7 +44,9 @@ for b in "$ROOT/$BUILD"/bench/*; do
   name="$(basename "$b")"
   echo "########## $name" | tee -a "$ROOT/bench_output.txt"
   if is_exp_bench "$name"; then
-    "$b" --jobs "$JOBS" --json "$ROOT/results/$name.json" 2>&1 \
+    # shellcheck disable=SC2046  # trajectory_args is empty or two words
+    "$b" --jobs "$JOBS" --json "$ROOT/results/$name.json" \
+      $(trajectory_args "$name") 2>&1 \
       | tee -a "$ROOT/bench_output.txt"
   else
     "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
