@@ -83,6 +83,14 @@ Options parse_options(int argc, char** argv) {
       }
     } else if (arg == "--smoke") {
       opt.smoke = true;
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg == "--chaos-cases") {
+      opt.chaos_cases = std::atoi(next_raw("--chaos-cases"));
+      if (opt.chaos_cases < 1) {
+        std::fprintf(stderr, "--chaos-cases must be >= 1\n");
+        std::exit(2);
+      }
     } else if (arg == "--record-journal") {
       opt.record_journal_dir = next_raw("--record-journal");
     } else if (arg == "--replay") {
@@ -118,6 +126,7 @@ Options parse_options(int argc, char** argv) {
           "usage: %s [--full] [--seed N] [--duration S] [--warmup S]\n"
           "          [--jobs N] [--replicates R] [--json PATH]\n"
           "          [--timeout S] [--retries N] [--smoke]\n"
+          "          [--chaos] [--chaos-cases N]\n"
           "          [--record-journal DIR] [--replay PATH]\n"
           "          [--checkpoint-events N] [--isolate] [--crash-dir DIR]\n"
           "          [--isolate-cpu S] [--isolate-mem MB] [--trajectory PATH]\n"
@@ -128,6 +137,8 @@ Options parse_options(int argc, char** argv) {
           "  --timeout S   per-run wall-clock limit; overdue runs fail (0 = off)\n"
           "  --retries N   extra attempts for transiently failing runs\n"
           "  --smoke       CI-sized quick pass (bench-specific reduction)\n"
+          "  --chaos       randomized adversary/impairment soak (supported benches)\n"
+          "  --chaos-cases N  chaos scenarios per defense arm (default 12)\n"
           "  --record-journal DIR  write a replay journal per run into DIR\n"
           "  --replay PATH  re-execute a journaled run, verify determinism\n"
           "  --checkpoint-events N  checkpoint cadence in dispatches\n"

@@ -30,6 +30,11 @@ struct Options {
   double run_timeout = 0.0;  // --timeout S; per-run wall-clock limit, 0 = off
   int retries = 0;           // --retries N; extra attempts on TransientError
   bool smoke = false;        // --smoke; CI-sized quick pass (bench-defined)
+  /// Chaos/soak mode (benches that support it, e.g. bench_adversary): each
+  /// replicate draws a randomized adversary + impairment scenario from its
+  /// own seed (fault::draw_chaos) and runs under watchdog invariants.
+  bool chaos = false;         // --chaos
+  int chaos_cases = 12;       // --chaos-cases N; scenarios per defense arm
 
   /// Determinism / crash-containment controls (replay-wired benches only;
   /// see src/replay/ and bench/replay_support.hpp).

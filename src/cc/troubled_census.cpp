@@ -1,8 +1,28 @@
 #include "cc/troubled_census.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rlacast::cc {
+
+double robust_clamped_max(std::vector<double>& values, double k_mads) {
+  if (values.empty()) return 0.0;
+  const auto plain_max = *std::max_element(values.begin(), values.end());
+  if (values.size() < 3 || k_mads <= 0.0) return plain_max;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double median = values[mid];
+  // Absolute deviations reuse the same buffer (values is scratch).
+  for (double& v : values) v = std::abs(v - median);
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double mad = values[mid];
+  // MAD == 0 means a majority sits exactly at the median; clamp outliers all
+  // the way back to it (a tiny slack keeps honest ties unaffected).
+  const double hi = median + (mad > 0.0 ? k_mads * 1.4826 * mad : 1e-12);
+  return std::min(plain_max, std::max(hi, median));
+}
 
 int TroubledCensus::add_receiver() {
   rcvrs_.emplace_back(gain_);
@@ -11,23 +31,97 @@ int TroubledCensus::add_receiver() {
 
 void TroubledCensus::on_signal(int i, sim::SimTime now) {
   Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
-  if (r.excluded) return;
+  if (r.state == MemberState::kQuarantined || r.state == MemberState::kExcluded)
+    return;
   if (r.last_signal != sim::kNever) r.interval.add(now - r.last_signal);
   r.last_signal = now;
   ++r.signals;
+  ++r.epoch_signals;
   ++total_signals_;
+  if (defense_.enabled) rate_check(i, now);
 }
 
 void TroubledCensus::exclude(int i) {
   Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
   if (r.troubled) --num_troubled_;
   r.troubled = false;
-  r.excluded = true;
+  r.state = MemberState::kExcluded;
+}
+
+void TroubledCensus::rate_check(int i, sim::SimTime now) {
+  Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
+  if (r.epoch_signals < defense_.min_signals) return;
+  const double mine = effective_interval(i, now);
+  if (mine <= 0.0) return;
+  // Median interval over the OTHER members still speaking for themselves.
+  interval_scratch_.clear();
+  for (std::size_t j = 0; j < rcvrs_.size(); ++j) {
+    if (static_cast<int>(j) == i) continue;
+    const Rcvr& o = rcvrs_[j];
+    if (o.state == MemberState::kQuarantined || o.state == MemberState::kExcluded)
+      continue;
+    const double e = effective_interval(static_cast<int>(j), now);
+    if (e > 0.0) interval_scratch_.push_back(e);
+  }
+  // With fewer than 2 honest peers there is no cohort to compare against.
+  if (interval_scratch_.size() < 2) return;
+  const std::size_t mid = interval_scratch_.size() / 2;
+  std::nth_element(interval_scratch_.begin(),
+                   interval_scratch_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   interval_scratch_.end());
+  const double median = interval_scratch_[mid];
+  const double factor = (r.state == MemberState::kProbation)
+                            ? defense_.probation_rate_factor
+                            : defense_.rate_factor;
+  // Violation: signalling more than `factor` times faster than the median
+  // peer.  The census minimum can be dragged by one liar; the median cannot.
+  if (mine * factor < median) quarantine(i, now);
+}
+
+void TroubledCensus::quarantine(int i, sim::SimTime now) {
+  Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
+  if (r.troubled) --num_troubled_;
+  r.troubled = false;
+  ++r.strikes;
+  ++quarantines_;
+  if (defense_.max_strikes > 0 && r.strikes >= defense_.max_strikes) {
+    r.state = MemberState::kExcluded;
+    ++strikeouts_;
+    return;
+  }
+  r.state = MemberState::kQuarantined;
+  // Escalating dwell: strike k serves quarantine_seconds * 2^(k-1).
+  const double dwell =
+      defense_.quarantine_seconds * std::ldexp(1.0, r.strikes - 1);
+  r.state_until = now + dwell;
+}
+
+std::vector<int> TroubledCensus::advance_states(sim::SimTime now) {
+  std::vector<int> rejoined;
+  if (!defense_.enabled) return rejoined;
+  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+    Rcvr& r = rcvrs_[i];
+    if (r.state == MemberState::kQuarantined && now >= r.state_until) {
+      r.state = MemberState::kProbation;
+      r.state_until = now + defense_.probation_seconds;
+      // Fresh census epoch: history earned while lying must not survive
+      // the rejoin (and a stale last_signal would poison the interval).
+      r.interval = stats::Ewma(gain_);
+      r.last_signal = sim::kNever;
+      r.epoch_signals = 0;
+      rejoined.push_back(static_cast<int>(i));
+    } else if (r.state == MemberState::kProbation && now >= r.state_until) {
+      r.state = MemberState::kActive;
+    }
+  }
+  return rejoined;
 }
 
 double TroubledCensus::effective_interval(int i, sim::SimTime now) const {
   const Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
-  if (r.excluded || r.signals == 0) return -1.0;
+  if (r.state == MemberState::kQuarantined ||
+      r.state == MemberState::kExcluded || r.epoch_signals == 0)
+    return -1.0;
   const double since_last = now - r.last_signal;
   if (!r.interval.initialized()) return std::max(since_last, 1e-12);
   return std::max(r.interval.value(), since_last);
@@ -52,7 +146,9 @@ int TroubledCensus::recompute(sim::SimTime now) {
   if (min_int < 0.0) return 0;
   for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
     Rcvr& r = rcvrs_[i];
-    if (r.excluded || r.signals == 0) continue;
+    if (r.state == MemberState::kQuarantined ||
+        r.state == MemberState::kExcluded || r.epoch_signals == 0)
+      continue;
     const double e = effective_interval(static_cast<int>(i), now);
     // The most-congested receiver satisfies e == min_int; the strict "<"
     // of the paper is made "<=" scaled so that it is always troubled.

@@ -16,6 +16,27 @@
 //  * the effective interval is max(EWMA, time since last signal), so a
 //    receiver whose congestion ended ages out of the census instead of
 //    staying troubled on stale history.
+//
+// Feedback-plane hardening (CensusDefenseParams): the paper assumes every
+// receiver reports honestly.  A signal-storm receiver can fabricate holes
+// fast enough to become the census minimum, shrink everyone's pthresh
+// denominator to itself, and halve the window on every fabricated signal.
+// With the defense enabled the census rate-limits each member against the
+// MEDIAN peer rate (a storm cannot drag the median the way it drags the
+// minimum) and moves violators through a quarantine → probation → rejoin
+// state machine instead of the old binary excluded() bit:
+//
+//   kActive --rate violation--> kQuarantined --timer--> kProbation
+//     ^                                                    |
+//     +------------- clean probation window ---------------+
+//
+// While quarantined a member counts as excluded() for every sender
+// mechanism (frozen scoreboard, skipped frontier, dropped ACKs).  Each
+// violation is a strike; strikes escalate the quarantine dwell and
+// max_strikes converts the member to kExcluded permanently.  Probation uses
+// a stricter rate factor (hysteresis), so a flip-flopping attacker is
+// re-caught faster each time it resumes.  Everything defaults to disabled:
+// defense off is byte-identical to the historical census.
 #pragma once
 
 #include <cstdint>
@@ -27,22 +48,85 @@
 
 namespace rlacast::cc {
 
+/// Robust-aggregation and rate-limiter knobs. enabled == false (default)
+/// keeps the census byte-identical to the pre-defense implementation.
+struct CensusDefenseParams {
+  bool enabled = false;
+  /// Median/MAD clamp applied by the sender to reported srtts before
+  /// srtt_max is taken (see robust_clamped_max); <= 0 disables the clamp
+  /// even when the rest of the defense is on.
+  double srtt_clamp_mads = 4.0;
+  /// A member is quarantined when its effective signal interval is more
+  /// than rate_factor times SMALLER than the median peer interval.
+  double rate_factor = 8.0;
+  /// Stricter factor while on probation (hysteresis: a re-offender is
+  /// easier to catch than a first offender).
+  double probation_rate_factor = 4.0;
+  /// Rate checks only start once the member has this many signals in the
+  /// current epoch (since join or last rejoin).
+  std::uint64_t min_signals = 8;
+  /// Base quarantine dwell; strike k serves quarantine_seconds * 2^(k-1).
+  sim::SimTime quarantine_seconds = 20.0;
+  /// Probation window after quarantine; clean conduct restores kActive.
+  sim::SimTime probation_seconds = 30.0;
+  /// Strikes before the member is excluded permanently; 0 = never.
+  int max_strikes = 3;
+};
+
+/// Membership state of one receiver in the hardened census.
+enum class MemberState : std::uint8_t {
+  kActive,       // full participant
+  kProbation,    // rejoined, watched under the stricter rate factor
+  kQuarantined,  // timed exclusion (counts as excluded())
+  kExcluded,     // permanent (leave, silent-drop, slow-drop, strike-out)
+};
+
+/// Median/MAD outlier clamp: every value is clamped from above to
+/// median + k_mads * 1.4826 * MAD (1.4826 makes the MAD sigma-consistent)
+/// and the max of the clamped values is returned.  A single liar reporting
+/// a wild srtt is pulled back to the honest cohort's spread; with fewer
+/// than 3 values or k_mads <= 0 the plain max is returned (no robust
+/// baseline exists).  `values` is scratch: reordered in place.
+double robust_clamped_max(std::vector<double>& values, double k_mads);
+
 class TroubledCensus : public replay::Snapshotable {
  public:
   TroubledCensus(double eta, double interval_gain)
       : eta_(eta), gain_(interval_gain) {}
+
+  /// Installs the defense knobs (call before signals flow; with
+  /// defense.enabled == false this is a no-op configuration).
+  void set_defense(const CensusDefenseParams& defense) { defense_ = defense; }
+  const CensusDefenseParams& defense() const { return defense_; }
 
   /// Registers one more receiver; returns its index.
   int add_receiver();
 
   std::size_t receiver_count() const { return rcvrs_.size(); }
 
-  /// Records a congestion signal from receiver `i` at time `now`.
+  /// Records a congestion signal from receiver `i` at time `now`.  With the
+  /// defense enabled this also runs the median rate check and may move `i`
+  /// to kQuarantined (or kExcluded on the final strike).
   void on_signal(int i, sim::SimTime now);
 
-  /// Permanently removes receiver `i` from the census (§4.3 slow-drop).
+  /// Permanently removes receiver `i` from the census (§4.3 slow-drop,
+  /// leaves, silent-receiver drops).
   void exclude(int i);
-  bool excluded(int i) const { return rcvrs_[static_cast<std::size_t>(i)].excluded; }
+
+  /// True while `i` must not influence the sender: permanently excluded OR
+  /// serving a quarantine.  Every sender-side guard (frontier, scoreboards,
+  /// ACK intake, retransmit scans) keys off this, so quarantine reuses the
+  /// exact mechanics that already handled departed receivers.
+  bool excluded(int i) const {
+    const MemberState s = rcvrs_[static_cast<std::size_t>(i)].state;
+    return s == MemberState::kQuarantined || s == MemberState::kExcluded;
+  }
+
+  /// Time-driven state transitions as of `now`: quarantines that have been
+  /// served become probation (their indices are returned so the sender can
+  /// thaw them like late joiners), clean probation windows become active.
+  /// No-op (empty vector, no state read) while the defense is disabled.
+  std::vector<int> advance_states(sim::SimTime now);
 
   /// Recomputes all troubled flags as of `now`; returns num_trouble_rcvr.
   int recompute(sim::SimTime now);
@@ -55,13 +139,30 @@ class TroubledCensus : public replay::Snapshotable {
   double min_interval(sim::SimTime now) const;
 
   /// The per-receiver effective congestion-signal interval (see above);
-  /// returns a negative value when the receiver has never signalled.
+  /// returns a negative value when the receiver has never signalled (in
+  /// its current epoch — a rejoin starts a fresh epoch).
   double effective_interval(int i, sim::SimTime now) const;
 
   std::uint64_t signals(int i) const { return rcvrs_[static_cast<std::size_t>(i)].signals; }
   std::uint64_t total_signals() const { return total_signals_; }
   sim::SimTime last_signal_time(int i) const {
     return rcvrs_[static_cast<std::size_t>(i)].last_signal;
+  }
+
+  // --- defense observability ----------------------------------------------
+  MemberState state(int i) const {
+    return rcvrs_[static_cast<std::size_t>(i)].state;
+  }
+  int strikes(int i) const { return rcvrs_[static_cast<std::size_t>(i)].strikes; }
+  /// Total quarantine transitions (strike-outs included).
+  std::uint64_t quarantines() const { return quarantines_; }
+  /// Members converted to kExcluded by reaching max_strikes.
+  std::uint64_t strikeouts() const { return strikeouts_; }
+  int currently_quarantined() const {
+    int n = 0;
+    for (const Rcvr& r : rcvrs_)
+      if (r.state == MemberState::kQuarantined) ++n;
+    return n;
   }
 
   /// Checkpoint state: census totals plus per-receiver signal counts and
@@ -74,11 +175,14 @@ class TroubledCensus : public replay::Snapshotable {
     std::uint64_t excluded = 0;
     std::uint64_t troubled_mask = 0;
     for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-      if (rcvrs_[i].excluded) ++excluded;
+      if (rcvrs_[i].state == MemberState::kQuarantined ||
+          rcvrs_[i].state == MemberState::kExcluded)
+        ++excluded;
       if (rcvrs_[i].troubled && i < 64) troubled_mask |= (1ULL << i);
     }
     s.put("excluded", excluded);
     s.put("troubled_mask", troubled_mask);
+    s.put("quarantines", quarantines_);
     return s;
   }
 
@@ -86,18 +190,30 @@ class TroubledCensus : public replay::Snapshotable {
   struct Rcvr {
     stats::Ewma interval;
     sim::SimTime last_signal = sim::kNever;
-    std::uint64_t signals = 0;
+    std::uint64_t signals = 0;        // lifetime count (observability)
+    std::uint64_t epoch_signals = 0;  // since join / last rejoin (census)
     bool troubled = false;
-    bool excluded = false;
+    MemberState state = MemberState::kActive;
+    sim::SimTime state_until = 0.0;  // quarantine/probation expiry
+    int strikes = 0;
 
     explicit Rcvr(double gain) : interval(gain) {}
   };
 
+  /// Median rate check for `i` after a fresh signal; quarantines on
+  /// violation.  Defense-enabled path only.
+  void rate_check(int i, sim::SimTime now);
+  void quarantine(int i, sim::SimTime now);
+
   double eta_;
   double gain_;
+  CensusDefenseParams defense_{};
   std::vector<Rcvr> rcvrs_;
+  std::vector<double> interval_scratch_;  // rate_check median workspace
   int num_troubled_ = 0;
   std::uint64_t total_signals_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t strikeouts_ = 0;
 };
 
 }  // namespace rlacast::cc

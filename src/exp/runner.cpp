@@ -239,6 +239,30 @@ Results Runner::run(const std::vector<RunSpec>& specs, const RunFn& fn) const {
   if (static_cast<std::size_t>(jobs) > specs.size())
     jobs = static_cast<int>(specs.size());
 
+  // Soak heartbeat: a monitor thread wakes every heartbeat_seconds and
+  // reports batch progress, so a long chaos run is visibly alive between
+  // completion lines. Joined before run() returns.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat;
+  if (opts_.heartbeat_seconds > 0.0) {
+    heartbeat = std::thread([&] {
+      std::unique_lock<std::mutex> lock(hb_mu);
+      for (;;) {
+        if (hb_cv.wait_for(
+                lock,
+                std::chrono::duration<double>(opts_.heartbeat_seconds),
+                [&] { return hb_stop; }))
+          return;
+        const std::size_t completed = done.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> plock(progress_mu);
+        std::fprintf(stderr, "exp: heartbeat %zu/%zu done (%.1f s elapsed)\n",
+                     completed, specs.size(), seconds_since(t0));
+      }
+    });
+  }
+
   if (jobs <= 1) {
     worker();  // run inline: no pool overhead for the common --jobs 1 path
   } else {
@@ -246,6 +270,15 @@ Results Runner::run(const std::vector<RunSpec>& specs, const RunFn& fn) const {
     pool.reserve(static_cast<std::size_t>(jobs));
     for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
+  }
+
+  if (heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
   }
 
   last_wall_seconds_ = seconds_since(t0);

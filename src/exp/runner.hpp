@@ -40,6 +40,11 @@ class TransientError : public std::runtime_error {
 struct RunnerOptions {
   int jobs = 1;           // worker threads; clamped to [1, #runs]
   bool progress = false;  // per-completion lines on stderr
+  /// Soak heartbeat: while the batch runs, print "exp: heartbeat k/N done
+  /// (t s elapsed)" to stderr every this many wall-clock seconds; 0 (the
+  /// default) disables.  Long chaos soaks otherwise look hung between
+  /// per-run completion lines.
+  double heartbeat_seconds = 0.0;
   /// Per-run wall-clock limit in seconds; 0 disables.  A run exceeding it
   /// is recorded as failed ("timeout after N s", timed_out = true) and the
   /// rest of the batch proceeds.  The overdue run's thread is abandoned

@@ -1,0 +1,146 @@
+#include "fault/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlacast::fault {
+
+const char* adversary_kind_name(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kSrttInflate: return "srtt_inflate";
+    case AdversaryKind::kSrttDeflate: return "srtt_deflate";
+    case AdversaryKind::kSignalStorm: return "signal_storm";
+    case AdversaryKind::kMute: return "mute";
+    case AdversaryKind::kFlipFlop: return "flip_flop";
+  }
+  return "?";
+}
+
+void ReceiverAdversary::inflate(net::Packet& ack) const {
+  if (ack.ts_echo <= 0.0) return;
+  // Pushing the echoed timestamp into the past inflates the sender's
+  // (now - ts_echo) sample by srtt_bias seconds.
+  ack.ts_echo = std::max(1e-9, ack.ts_echo - model_.srtt_bias);
+}
+
+void ReceiverAdversary::deflate(net::Packet& ack, sim::SimTime now) const {
+  if (ack.ts_echo <= 0.0) return;
+  // Claiming the data was sent deflate_to ago yields a near-zero sample.
+  // max() keeps the lie from turning a genuinely smaller sample negative.
+  ack.ts_echo = std::max(ack.ts_echo, now - model_.deflate_to);
+}
+
+ReceiverAdversary::Verdict ReceiverAdversary::storm(net::Packet& ack) {
+  Verdict v;
+  const net::SeqNum real_cum = ack.ack;
+  if (cooldown_ > 0) {
+    // One honest ACK: the sender's frontier catches up to real_cum, so the
+    // NEXT fake hole opens at fresh territory and reads as a new loss.
+    --cooldown_;
+    reported_cum_ = real_cum;
+    return v;
+  }
+  if (hole_ == net::kNoSeq) {
+    hole_ = reported_cum_;
+    hole_acks_left_ = std::max(1, model_.hole_hold_acks);
+    ++fake_holes_;
+  }
+  if (real_cum > hole_) {
+    // Freeze the cumulative point at the fake hole; everything actually
+    // received above it rides in SACK block 0 so the sender SACK-detects a
+    // "loss" at hole_ (dupthresh covered once real_cum - hole_ >= 3).
+    const std::array<net::SackBlock, net::kMaxSackBlocks> orig = ack.sack;
+    const std::uint8_t orig_n = ack.n_sack;
+    ack.sack[0] = net::SackBlock{hole_ + 1, real_cum};
+    std::uint8_t n = 1;
+    for (std::uint8_t b = 0; b < orig_n && n < net::kMaxSackBlocks; ++b)
+      ack.sack[n++] = orig[b];
+    ack.n_sack = n;
+    ack.ack = hole_;
+    ++acks_tampered_;
+    v.extra_copies = model_.storm_copies;
+    extra_acks_ += static_cast<std::uint64_t>(v.extra_copies);
+  }
+  if (--hole_acks_left_ <= 0) {
+    hole_ = net::kNoSeq;
+    cooldown_ = 1;
+  }
+  return v;
+}
+
+ReceiverAdversary::Verdict ReceiverAdversary::on_ack(net::Packet& ack,
+                                                     sim::SimTime now) {
+  Verdict v;
+  if (now < model_.start) {
+    reported_cum_ = ack.ack;  // honest phase: track what the sender knows
+    return v;
+  }
+  AdversaryKind kind = model_.kind;
+  if (kind == AdversaryKind::kFlipFlop) {
+    const auto phase = static_cast<std::int64_t>(
+        std::floor((now - model_.start) / model_.flip_period));
+    kind = (phase % 2 == 0) ? AdversaryKind::kSignalStorm
+                            : AdversaryKind::kMute;
+  }
+  switch (kind) {
+    case AdversaryKind::kMute:
+      ++acks_withheld_;
+      v.suppress = true;
+      return v;
+    case AdversaryKind::kSrttInflate:
+      inflate(ack);
+      ++acks_tampered_;
+      reported_cum_ = ack.ack;
+      return v;
+    case AdversaryKind::kSrttDeflate:
+      deflate(ack, now);
+      ++acks_tampered_;
+      reported_cum_ = ack.ack;
+      return v;
+    case AdversaryKind::kSignalStorm:
+      return storm(ack);
+    case AdversaryKind::kFlipFlop:
+      break;  // resolved above
+  }
+  return v;
+}
+
+AdversaryPlan& AdversaryPlan::corrupt(int rcvr_idx,
+                                      const AdversaryModel& model) {
+  for (Entry& e : entries_) {
+    if (e.rcvr_idx == rcvr_idx) {
+      e.model = model;
+      return *this;
+    }
+  }
+  entries_.push_back(Entry{rcvr_idx, model, nullptr});
+  return *this;
+}
+
+void AdversaryPlan::arm(const std::vector<rla::RlaReceiver*>& receivers) {
+  for (Entry& e : entries_) {
+    if (e.rcvr_idx < 0 ||
+        static_cast<std::size_t>(e.rcvr_idx) >= receivers.size() ||
+        receivers[static_cast<std::size_t>(e.rcvr_idx)] == nullptr)
+      throw std::invalid_argument("AdversaryPlan: no receiver with index " +
+                                  std::to_string(e.rcvr_idx));
+    e.state = std::make_unique<ReceiverAdversary>(e.model);
+    receivers[static_cast<std::size_t>(e.rcvr_idx)]->set_ack_tap(
+        e.state.get());
+  }
+}
+
+AdversaryTotals AdversaryPlan::totals() const {
+  AdversaryTotals t;
+  for (const Entry& e : entries_) {
+    if (!e.state) continue;
+    t.acks_tampered += e.state->acks_tampered();
+    t.acks_withheld += e.state->acks_withheld();
+    t.extra_acks += e.state->extra_acks();
+    t.fake_holes += e.state->fake_holes();
+  }
+  return t;
+}
+
+}  // namespace rlacast::fault

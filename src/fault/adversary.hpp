@@ -1,0 +1,152 @@
+// Misbehaving-receiver models for the feedback plane.
+//
+// PR 3's fault layer corrupts the *wire*; an adversary corrupts the
+// *report*.  The models here implement rla::AckTap and rewrite a receiver's
+// outgoing ACKs before they reach the pacer, so the receiver's reassembly
+// and the forward data path stay honest — only what the sender is told is a
+// lie.  The four attacks map onto the sender inputs the RLA analysis (§4)
+// trusts:
+//
+//   kSrttInflate  — subtracts srtt_bias from ts_echo, inflating the
+//                   sender's RTT sample for this receiver.  Under the
+//                   generalized pthresh (k > 0) the liar's srtt becomes
+//                   srtt_max and everyone ELSE's listening probability
+//                   collapses; countered by the median/MAD srtt clamp.
+//   kSrttDeflate  — pins ts_echo near `now`, deflating the sample toward
+//                   deflate_to.  The liar claims a tiny RTT: its own
+//                   pthresh drops, so it ignores congestion and overruns.
+//   kSignalStorm  — NACK implosion: periodically re-opens a fake hole at
+//                   the last reported cumulative point (ack frozen, real
+//                   progress carried in SACK blocks) and sends extra ACK
+//                   copies.  The sender sees a receiver losing "packets"
+//                   at line rate: its census interval collapses, it
+//                   becomes the troubled minimum, and every fabricated
+//                   signal is a cut opportunity; countered by the
+//                   signal-rate quarantine.
+//   kMute         — ACK withholding: suppresses every ACK after `start`.
+//                   Freezes min_last_ack/reach-all until the silent-drop
+//                   protection fires.
+//   kFlipFlop     — alternates storm and mute phases of length flip_period
+//                   (lie, serve the quarantine, lie again) — the
+//                   hysteresis/probation stress case.
+//
+// All models are deterministic functions of (ack, now): no RNG stream is
+// consumed, so arming an AdversaryPlan cannot perturb any existing stream
+// and an adversarial run replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "rla/rla_receiver.hpp"
+#include "sim/time.hpp"
+
+namespace rlacast::fault {
+
+enum class AdversaryKind : std::uint8_t {
+  kSrttInflate,
+  kSrttDeflate,
+  kSignalStorm,
+  kMute,
+  kFlipFlop,
+};
+
+const char* adversary_kind_name(AdversaryKind kind);
+
+/// One receiver's misbehavior. Fields beyond `kind` are per-kind knobs;
+/// irrelevant ones are ignored.
+struct AdversaryModel {
+  AdversaryKind kind = AdversaryKind::kSignalStorm;
+  /// The receiver is honest before this time (lets the session converge
+  /// first, which is also the harder case for the defense: the liar has an
+  /// established honest history).
+  sim::SimTime start = 0.0;
+  /// kSrttInflate: seconds subtracted from every echoed timestamp.
+  double srtt_bias = 1.0;
+  /// kSrttDeflate: the RTT the liar pretends to have.
+  double deflate_to = 1e-4;
+  /// kSignalStorm / kFlipFlop storm phase: ACKs a fake hole is held open
+  /// before one honest ACK lets the sender's frontier catch up.
+  int hole_hold_acks = 8;
+  /// kSignalStorm: extra verbatim copies per tampered ACK (implosion).
+  int storm_copies = 2;
+  /// kFlipFlop: phase length; even phases storm, odd phases mute.
+  sim::SimTime flip_period = 10.0;
+};
+
+/// Aggregate adversary accounting across a plan.
+struct AdversaryTotals {
+  std::uint64_t acks_tampered = 0;  // rewritten before sending
+  std::uint64_t acks_withheld = 0;  // suppressed entirely
+  std::uint64_t extra_acks = 0;     // storm copies injected
+  std::uint64_t fake_holes = 0;     // fabricated loss episodes opened
+};
+
+/// The per-receiver tap implementation. Created and owned by AdversaryPlan;
+/// must outlive the simulation run.
+class ReceiverAdversary final : public rla::AckTap {
+ public:
+  explicit ReceiverAdversary(AdversaryModel model) : model_(model) {}
+
+  Verdict on_ack(net::Packet& ack, sim::SimTime now) override;
+
+  const AdversaryModel& model() const { return model_; }
+  std::uint64_t acks_tampered() const { return acks_tampered_; }
+  std::uint64_t acks_withheld() const { return acks_withheld_; }
+  std::uint64_t extra_acks() const { return extra_acks_; }
+  std::uint64_t fake_holes() const { return fake_holes_; }
+
+ private:
+  Verdict storm(net::Packet& ack);
+  void inflate(net::Packet& ack) const;
+  void deflate(net::Packet& ack, sim::SimTime now) const;
+
+  AdversaryModel model_;
+  // Signal-storm state: the sender's view of our cumulative point. A fake
+  // hole must open at (not below) the sender's frontier or the lie is a
+  // no-op — previous honest ACKs already advanced it past the hole.
+  net::SeqNum reported_cum_ = 0;
+  net::SeqNum hole_ = net::kNoSeq;  // currently-open fake hole
+  int hole_acks_left_ = 0;
+  int cooldown_ = 0;  // honest ACKs owed before the next hole opens
+
+  std::uint64_t acks_tampered_ = 0;
+  std::uint64_t acks_withheld_ = 0;
+  std::uint64_t extra_acks_ = 0;
+  std::uint64_t fake_holes_ = 0;
+};
+
+/// A schedule of per-receiver misbehavior, mirroring FaultPlan's build/arm
+/// shape: corrupt() before the topology run, arm() once the receivers
+/// exist. An empty plan arms nothing and the run is byte-identical to an
+/// honest one.
+class AdversaryPlan {
+ public:
+  /// Registers (or replaces, last-write-wins) the model for receiver index
+  /// `rcvr_idx` (the session receiver id). Call before arm().
+  AdversaryPlan& corrupt(int rcvr_idx, const AdversaryModel& model);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Installs the taps on the matching receivers. Throws
+  /// std::invalid_argument if a registered index has no receiver. The plan
+  /// must outlive the simulation run.
+  void arm(const std::vector<rla::RlaReceiver*>& receivers);
+
+  /// Sum of per-receiver adversary counters across all armed taps.
+  AdversaryTotals totals() const;
+
+ private:
+  struct Entry {
+    int rcvr_idx;
+    AdversaryModel model;
+    std::unique_ptr<ReceiverAdversary> state;  // null until arm()
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rlacast::fault

@@ -1,0 +1,59 @@
+// Chaos scenario drawing for soak runs.
+//
+// A chaos run replicates a base experiment many times, each replicate under
+// a RANDOMIZED combination of feedback-plane hostility: which adversary
+// model, how many adversaries, where they sit, and how impaired the reverse
+// (ACK) path is.  The draw itself is deterministic — a dedicated
+// "chaos-scenario" stream derived from the replicate's seed, consumed in a
+// fixed order — so a chaos replicate is fully described by its seed and
+// replays bit-identically through the record/replay machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/adversary.hpp"
+#include "fault/fault.hpp"
+
+namespace rlacast::fault {
+
+/// Bounds of the chaos draw; every replicate lands uniformly inside them.
+struct ChaosConfig {
+  double max_ack_loss_p = 0.05;     // reverse-path Bernoulli ACK loss
+  double max_ack_dup_p = 0.05;      // reverse-path ACK duplication
+  sim::SimTime max_ack_jitter = 0.02;  // reverse-path delay jitter bound
+  double max_leaf_loss_p = 0.02;    // forward leaf-link loss
+  int max_adversaries = 9;          // misbehaving receivers per replicate
+  sim::SimTime min_flip_period = 5.0;
+  sim::SimTime max_flip_period = 20.0;
+  sim::SimTime adversary_start = 20.0;  // honest warm-up before lying
+};
+
+/// One replicate's drawn scenario.
+struct ChaosDraw {
+  AdversaryKind kind = AdversaryKind::kSignalStorm;
+  int n_adversaries = 0;
+  std::vector<int> adversary_idx;  // receiver indices, ascending
+  LinkImpairment ack_fault{};      // reverse-path (ACK) impairment
+  LinkImpairment leaf_fault{};     // forward leaf-link impairment
+  sim::SimTime flip_period = 10.0;
+  sim::SimTime adversary_start = 20.0;
+
+  /// Materializes the per-receiver models of this draw.
+  std::vector<std::pair<int, AdversaryModel>> adversaries() const;
+
+  /// One-line rendering for run logs and crash-row context.
+  std::string describe() const;
+};
+
+/// Draws one scenario from `cfg` for a session of `n_receivers`, on the
+/// "chaos-scenario" stream of `seed`.  The draw order is part of the replay
+/// contract: kind, adversary count, adversary placement (partial
+/// Fisher-Yates, one uniform_int per slot), ACK loss, ACK duplication, ACK
+/// jitter, leaf loss, flip period — changing it invalidates recorded chaos
+/// journals.
+ChaosDraw draw_chaos(const ChaosConfig& cfg, std::uint64_t seed,
+                     int n_receivers);
+
+}  // namespace rlacast::fault

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "cc/rtt_estimator.hpp"
+#include "cc/troubled_census.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
@@ -115,6 +116,12 @@ struct RlaParams {
   /// Estimator tuning; the shared TCP/RLA defaults live in
   /// cc/rtt_estimator.hpp.
   cc::RttEstimatorParams rtt{};
+
+  /// Feedback-plane hardening: robust srtt aggregation, per-receiver
+  /// signal-rate limiting, and the quarantine → probation → rejoin state
+  /// machine of cc::TroubledCensus. Disabled by default — the paper's
+  /// honest-receiver model — and byte-identical to it when disabled.
+  cc::CensusDefenseParams defense{};
 };
 
 }  // namespace rlacast::rla

@@ -68,6 +68,13 @@ void RlaReceiver::on_receive(const net::Packet& p) {
     }
   }
 
+  if (ack_tap_ != nullptr) {
+    const AckTap::Verdict v = ack_tap_->on_ack(ack, network_.simulator().now());
+    if (v.suppress) return;
+    ack_pacer_.send(ack);
+    for (int i = 0; i < v.extra_copies; ++i) ack_pacer_.send(ack);
+    return;
+  }
   ack_pacer_.send(ack);
 }
 

@@ -20,6 +20,23 @@
 
 namespace rlacast::rla {
 
+/// Interception point for outgoing ACKs, consulted just before an ACK is
+/// handed to the pacer. fault::ReceiverAdversary implements this to model
+/// misbehaving receivers (srtt liars, signal storms, mutes) without the
+/// receiver itself knowing it is lying; nullptr (the default) is the honest
+/// receiver. The tap may rewrite the ACK in place, suppress it, or ask for
+/// extra verbatim copies (NACK implosion).
+class AckTap {
+ public:
+  struct Verdict {
+    bool suppress = false;  // drop the ACK instead of sending it
+    int extra_copies = 0;   // send this many additional copies after it
+  };
+
+  virtual ~AckTap() = default;
+  virtual Verdict on_ack(net::Packet& ack, sim::SimTime now) = 0;
+};
+
 struct RlaReceiverOptions {
   std::int32_t ack_bytes = net::kAckPacketBytes;
   /// 0 disables urgent requests; otherwise request after this many
@@ -55,6 +72,10 @@ class RlaReceiver final : public net::Agent {
   void set_silenced(bool silenced) { silenced_ = silenced; }
   bool silenced() const { return silenced_; }
 
+  /// Installs (or clears, with nullptr) the outgoing-ACK tap. Not owned.
+  void set_ack_tap(AckTap* tap) { ack_tap_ = tap; }
+  AckTap* ack_tap() const { return ack_tap_; }
+
   int id() const { return id_; }
   const tcp::ReassemblyBuffer& buffer() const { return buf_; }
   std::uint64_t data_packets_received() const { return received_; }
@@ -79,6 +100,7 @@ class RlaReceiver final : public net::Agent {
   net::SeqNum stuck_cum_ = -1;
   int stuck_acks_ = 0;
   bool silenced_ = false;
+  AckTap* ack_tap_ = nullptr;
 };
 
 }  // namespace rlacast::rla

@@ -31,6 +31,7 @@ RlaSender::RlaSender(net::Network& network, net::NodeId node, net::PortId port,
                             .max_cwnd = params.max_cwnd,
                             .fairness_weight = params.fairness_weight}),
       awnd_(params.initial_cwnd) {
+  census_.set_defense(params_.defense);
   network_.attach(node_, port_, this);
   meas_.note_cwnd(0.0, win_.cwnd());
   if (replay::RunObserver* obs = sim_.observer()) {
@@ -120,6 +121,18 @@ net::SeqNum RlaSender::min_last_ack() const {
 }
 
 double RlaSender::max_srtt() const {
+  // Hardened path: an srtt-inflating receiver drives pthresh toward 1 for
+  // everyone else (their srtt_i/srtt_max ratio collapses), so reported
+  // srtts are median/MAD-clamped before the max is taken.
+  if (params_.defense.enabled && params_.defense.srtt_clamp_mads > 0.0) {
+    srtt_scratch_.clear();
+    for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+      if (census_.excluded(static_cast<int>(i))) continue;
+      srtt_scratch_.push_back(rcvrs_[i]->peer.rtt.srtt());
+    }
+    return cc::robust_clamped_max(srtt_scratch_,
+                                  params_.defense.srtt_clamp_mads);
+  }
   double m = 0.0;
   for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
     if (census_.excluded(static_cast<int>(i))) continue;
@@ -136,6 +149,16 @@ void RlaSender::on_receive(const net::Packet& p) {
   if (p.type != net::PacketType::kAck) return;
   const int idx = p.receiver_id;
   if (idx < 0 || static_cast<std::size_t>(idx) >= rcvrs_.size()) return;
+  // Quarantine/probation clock: served quarantines rejoin as late joiners
+  // (scoreboard thawed at the send frontier, liveness clock restarted).
+  // Polled before the excluded() gate so the quarantined member's own ACKs
+  // can drive its release.
+  if (params_.defense.enabled) {
+    for (const int r : census_.advance_states(sim_.now())) {
+      rcvrs_[static_cast<std::size_t>(r)]->peer.sb.reset(next_seq_);
+      rcvrs_[static_cast<std::size_t>(r)]->last_ack_at = sim_.now();
+    }
+  }
   // A stale ACK from a departed/dropped receiver (in flight at leave time,
   // or a crashed receiver coming back) must not touch frozen scoreboard or
   // census state.

@@ -179,6 +179,8 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
 
   std::map<net::SeqNum, SendInfo> send_info_;
 
+  mutable std::vector<double> srtt_scratch_;  // robust max_srtt workspace
+
   std::uint64_t acks_received_ = 0;
   std::uint64_t mcast_rexmits_ = 0;
   std::uint64_t ucast_rexmits_ = 0;

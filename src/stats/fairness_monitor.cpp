@@ -1,5 +1,6 @@
 #include "stats/fairness_monitor.hpp"
 
+#include <cmath>
 #include <utility>
 
 namespace rlacast::stats {
@@ -38,11 +39,15 @@ void FairnessMonitor::on_window() {
     // A window counts for a flow only if the application could have used
     // the network for the whole window: not limited at either edge.
     const bool excluded = limited_now || st.limited_at_start;
-    if (excluded || span <= 0.0) {
+    const double pps = span > 0.0 ? delta / span : -1.0;
+    // A probe returning NaN/inf (a broken delivered() reader, a zero-length
+    // window) is treated like an excluded flow: one bad reading must not
+    // poison the window's index into NaN, which would leak through every
+    // min/mean comparison (NaN < 0.0 is false).
+    if (excluded || !std::isfinite(pps) || pps < 0.0) {
       sample.throughput_pps.push_back(-1.0);
       ++sample.flows_app_limited;
     } else {
-      const double pps = delta / span;
       sample.throughput_pps.push_back(pps);
       counted.push_back(pps);
       ++sample.flows_counted;
@@ -88,7 +93,10 @@ double FairnessMonitor::jain_index(const std::vector<double>& xs) {
     sum_sq += x * x;
   }
   if (sum_sq <= 0.0) return 1.0;  // all idle: trivially fair
-  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+  const double j = (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+  // Belt and braces: a non-finite input slipping through yields the
+  // defined "no evidence" sentinel, never NaN.
+  return std::isfinite(j) ? j : -1.0;
 }
 
 }  // namespace rlacast::stats

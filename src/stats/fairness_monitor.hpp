@@ -82,7 +82,8 @@ class FairnessMonitor {
   double mean_jain() const;
 
   /// J = (sum x)^2 / (n * sum x^2) over xs; -1 for an empty vector, 1.0
-  /// when every entry is 0 (all-idle is trivially fair).
+  /// when every entry is 0 (all-idle is trivially fair). Never NaN: a
+  /// non-finite result degrades to the -1 "no evidence" sentinel.
   static double jain_index(const std::vector<double>& xs);
 
  private:

@@ -262,10 +262,21 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
     sess0_rcvr_by_idx.push_back(rla_receivers[i].get());
 
   fault::FaultPlan fault_plan;
-  if (cfg.leaf_fault.any()) {
+  // Forward entries first, reverse entries after: a leaf_fault-only config
+  // builds the exact stream set (and creation order) it always did.
+  if (cfg.leaf_fault.any())
     for (const auto& lr : link_refs)
       if (lr.level == 4) fault_plan.impair(lr.from, lr.to, cfg.leaf_fault);
-    fault_plan.arm(net);
+  if (cfg.ack_fault.any())
+    for (const auto& lr : link_refs)
+      if (lr.level == 4) fault_plan.impair(lr.to, lr.from, cfg.ack_fault);
+  if (!fault_plan.empty()) fault_plan.arm(net);
+
+  fault::AdversaryPlan adversary_plan;
+  if (!cfg.adversaries.empty()) {
+    for (const auto& [idx, model] : cfg.adversaries)
+      adversary_plan.corrupt(idx, model);
+    adversary_plan.arm(sess0_rcvr_by_idx);
   }
 
   std::unique_ptr<ChurnDriver> churn;
@@ -465,6 +476,13 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
   }
   res.rla_silent_drops = first.silent_drops();
   res.active_receivers_final = first.active_receivers();
+  const fault::AdversaryTotals atot = adversary_plan.totals();
+  res.adv_acks_tampered = atot.acks_tampered;
+  res.adv_acks_withheld = atot.acks_withheld;
+  res.adv_extra_acks = atot.extra_acks;
+  res.adv_fake_holes = atot.fake_holes;
+  res.census_quarantines = first.census().quarantines();
+  res.census_strikeouts = first.census().strikeouts();
   if (watchdog) {
     res.watchdog_ok = watchdog->ok();
     res.watchdog_report = watchdog->report();

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/adversary.hpp"
 #include "fault/fault.hpp"
 #include "net/red.hpp"
 #include "rla/rla_params.hpp"
@@ -81,6 +82,15 @@ struct TreeConfig {
   /// multicast setting. Empty (default) arms nothing and the run is
   /// byte-identical to an unfaulted one.
   fault::LinkImpairment leaf_fault{};
+  /// Reverse-path (control-plane) impairment: applied to every level-4
+  /// UPSTREAM link (leaf -> G3), the hops every leaf ACK and census signal
+  /// crosses first. Loss here starves the sender of feedback without
+  /// touching the data path. Empty (default) arms nothing.
+  fault::LinkImpairment ack_fault{};
+  /// Misbehaving receivers in session 0: (receiver index, model) pairs,
+  /// armed as rla::AckTaps on the matching receivers. Empty (default) arms
+  /// nothing and the run is byte-identical to an honest one.
+  std::vector<std::pair<int, fault::AdversaryModel>> adversaries{};
   /// Receiver churn for session 0's leaf members: mean interval between
   /// leave events (exponential, dedicated "churn" stream); 0 disables. The
   /// departed leaf rejoins as a fresh late-join receiver after
@@ -143,6 +153,14 @@ struct TreeResult {
   int active_receivers_final = 0;        // session 0 members still active
   bool watchdog_ok = true;               // no invariant violations recorded
   std::string watchdog_report;           // "" when ok
+
+  // --- feedback-plane outcomes ---------------------------------------------
+  std::uint64_t adv_acks_tampered = 0;   // ACKs rewritten by adversaries
+  std::uint64_t adv_acks_withheld = 0;   // ACKs suppressed (mute phases)
+  std::uint64_t adv_extra_acks = 0;      // storm copies injected
+  std::uint64_t adv_fake_holes = 0;      // fabricated loss episodes
+  std::uint64_t census_quarantines = 0;  // defense quarantine transitions
+  std::uint64_t census_strikeouts = 0;   // members excluded by max_strikes
 
   // --- workload + fairness telemetry ---------------------------------------
   /// One sample per fairness window (empty unless fairness.window > 0).

@@ -270,6 +270,115 @@ TEST(Fault, FlappingAlternatesUpAndDown) {
   EXPECT_EQ(h.sink.uids.size() + totals.outage_drops, 1000u);
 }
 
+// Bidirectional hop for reverse-path (ACK-direction) impairment tests:
+// data flows a -> b, a simulated feedback stream flows b -> a.
+struct DuplexHop {
+  sim::Simulator sim;
+  net::Network net;
+  net::NodeId a, b;
+  Sink fwd_sink;  // at b: receives the a -> b direction
+  Sink rev_sink;  // at a: receives the b -> a direction
+
+  explicit DuplexHop(std::uint64_t seed = 1) : sim(seed), net(sim) {
+    a = net.add_node();
+    b = net.add_node();
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 8e6;
+    cfg.delay = 0.01;
+    cfg.buffer_pkts = 50000;
+    net.connect(a, b, cfg);
+    net.build_routes();
+    net.attach(b, 1, &fwd_sink);
+    net.attach(a, 2, &rev_sink);
+    fwd_sink.now_fn = [this] { return sim.now(); };
+    rev_sink.now_fn = [this] { return sim.now(); };
+  }
+
+  /// Schedules interleaved traffic in both directions at fixed times so the
+  /// injection order (and hence packet uids) is run-invariant.
+  void schedule(int n) {
+    for (int i = 0; i < n; ++i) {
+      sim.at(0.001 * i, [this, i] {
+        net::Packet d;
+        d.type = net::PacketType::kData;
+        d.src = a;
+        d.dst = b;
+        d.dst_port = 1;
+        d.seq = i;
+        net.inject(d);
+        net::Packet ack;
+        ack.type = net::PacketType::kAck;
+        ack.src = b;
+        ack.dst = a;
+        ack.dst_port = 2;
+        ack.seq = i;
+        ack.size_bytes = 40;
+        net.inject(ack);
+      });
+    }
+  }
+};
+
+TEST(Fault, ForwardOnlyPlanLeavesReverseStreamByteIdentical) {
+  // ISSUE 8 satellite: a forward-path-only plan must leave the reverse
+  // (ACK) direction byte-identical to a pristine run — same uids, same
+  // arrival instants — because each direction draws from its own
+  // "fault-link-<from>-<to>" stream and an unimpaired link has no hook.
+  const int n = 400;
+  DuplexHop clean(11);
+  clean.schedule(n);
+  clean.sim.run_all();
+  ASSERT_EQ(clean.rev_sink.uids.size(), static_cast<std::size_t>(n));
+
+  DuplexHop faulted(11);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.loss_p = 0.3;
+  imp.max_jitter = 0.004;
+  plan.impair(faulted.a, faulted.b, imp);  // forward direction ONLY
+  plan.arm(faulted.net);
+  faulted.schedule(n);
+  faulted.sim.run_all();
+
+  // Forward direction visibly impaired...
+  EXPECT_LT(faulted.fwd_sink.uids.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(plan.totals().wire_losses, 0u);
+  // ...reverse direction untouched, bit for bit.
+  EXPECT_EQ(faulted.rev_sink.uids, clean.rev_sink.uids);
+  EXPECT_EQ(faulted.rev_sink.at, clean.rev_sink.at);
+  EXPECT_EQ(faulted.net.link_between(faulted.b, faulted.a)->fault_hook(),
+            nullptr);
+}
+
+TEST(Fault, ReverseDupJitterPreservesAckFifo) {
+  // Reverse-path duplication + jitter (the --chaos ACK impairment mix) may
+  // delay and clone feedback but must never reorder it: cumulative ACK
+  // semantics tolerate duplicates, not time travel.
+  DuplexHop h(23);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.duplicate_p = 0.3;
+  imp.max_jitter = 0.02;  // far above the 40-byte serialization time
+  plan.impair(h.b, h.a, imp);  // reverse direction ONLY
+  plan.arm(h.net);
+  const int n = 500;
+  h.schedule(n);
+  h.sim.run_all();
+
+  const auto totals = plan.totals();
+  EXPECT_GT(totals.duplicates, 0u);
+  ASSERT_EQ(h.rev_sink.uids.size(),
+            static_cast<std::size_t>(n) + totals.duplicates);
+  // FIFO both in time and in sequence: a duplicated ACK arrives adjacent to
+  // its original, and no later ACK overtakes an earlier one.
+  for (std::size_t i = 1; i < h.rev_sink.at.size(); ++i) {
+    EXPECT_LE(h.rev_sink.at[i - 1], h.rev_sink.at[i]);
+    EXPECT_LE(h.rev_sink.uids[i - 1], h.rev_sink.uids[i]);
+  }
+  // The forward data direction saw no impairment at all.
+  EXPECT_EQ(h.fwd_sink.uids.size(), static_cast<std::size_t>(n));
+}
+
 TEST(Fault, FaultStreamDoesNotPerturbOtherStreams) {
   // The named fault stream is independent: the draws another component sees
   // are identical whether or not a fault stream was ever created.

@@ -16,6 +16,8 @@
 //     workload layer's RNG discipline).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -150,6 +152,67 @@ TEST(FairnessMonitor, WindowSeriesAndAppLimitedExclusion) {
 
   EXPECT_DOUBLE_EQ(mon.min_jain(), 1.0);
   EXPECT_DOUBLE_EQ(mon.mean_jain(), 1.0);
+}
+
+TEST(FairnessMonitor, AllExcludedWindowIsSkippedNotNaN) {
+  // Regression (ISSUE 8 satellite): when every flow is app-limited-excluded
+  // in a window, the window must yield the defined -1 sentinel — never NaN
+  // — and min/mean must skip it instead of propagating.
+  sim::Simulator sim(1);
+  stats::FairnessMonitorConfig cfg;
+  cfg.window = 1.0;
+  cfg.stop = 3.0;
+  stats::FairnessMonitor mon(sim, cfg);
+  double d1 = 0.0, d2 = 0.0;
+  mon.add_probe({"f1", [&d1] { return d1; }, [] { return true; }});
+  mon.add_probe({"f2", [&d2] { return d2; }, [] { return true; }});
+  sim.at(0.5, [&] { d1 = 40.0; d2 = 10.0; });
+  sim.run_until(4.0);
+  ASSERT_EQ(mon.samples().size(), 3u);
+  for (const auto& s : mon.samples()) {
+    EXPECT_EQ(s.flows_counted, 0);
+    EXPECT_EQ(s.flows_app_limited, 2);
+    EXPECT_DOUBLE_EQ(s.jain, -1.0);       // defined, not NaN
+    EXPECT_TRUE(std::isfinite(s.jain));
+  }
+  EXPECT_DOUBLE_EQ(mon.min_jain(), -1.0);   // "no evidence", finite
+  EXPECT_DOUBLE_EQ(mon.mean_jain(), -1.0);
+}
+
+TEST(FairnessMonitor, NonFiniteProbeReadingIsExcludedNotPropagated) {
+  // A broken delivered() reader returning NaN/inf must degrade to an
+  // excluded flow, not poison the whole window's Jain into NaN.
+  sim::Simulator sim(1);
+  stats::FairnessMonitorConfig cfg;
+  cfg.window = 1.0;
+  cfg.stop = 2.0;
+  stats::FairnessMonitor mon(sim, cfg);
+  double good = 0.0;
+  mon.add_probe({"good", [&good] { return good; }, [] { return false; }});
+  mon.add_probe({"nan", [] { return std::nan(""); }, [] { return false; }});
+  mon.add_probe({"inf",
+                 [] { return std::numeric_limits<double>::infinity(); },
+                 [] { return false; }});
+  sim.at(1.5, [&good] { good = 100.0; });
+  sim.run_until(3.0);
+  ASSERT_EQ(mon.samples().size(), 2u);
+  // Window 2 ([1,2]): the good flow counts alone; broken probes excluded.
+  const auto& s = mon.samples()[1];
+  EXPECT_EQ(s.flows_counted, 1);
+  EXPECT_EQ(s.flows_app_limited, 2);
+  EXPECT_TRUE(std::isfinite(s.jain));
+  EXPECT_DOUBLE_EQ(s.jain, 1.0);
+  EXPECT_DOUBLE_EQ(s.throughput_pps[1], -1.0);
+  EXPECT_DOUBLE_EQ(s.throughput_pps[2], -1.0);
+  EXPECT_TRUE(std::isfinite(mon.min_jain()));
+  EXPECT_TRUE(std::isfinite(mon.mean_jain()));
+}
+
+TEST(FairnessMonitor, JainIndexNeverNaN) {
+  using stats::FairnessMonitor;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isfinite(FairnessMonitor::jain_index({inf, 1.0})));
+  EXPECT_TRUE(std::isfinite(FairnessMonitor::jain_index({std::nan(""), 1.0})));
 }
 
 TEST(FairnessMonitor, FirstWindowExcludesPreStartFlows) {

@@ -15,6 +15,13 @@ BUILD="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc)"
 
+# A regenerated transcript that silently omits a crashed bench is worse than
+# no transcript: every failure below aborts the whole regeneration loudly.
+fail() {
+  echo "regen_results: FATAL: $*" >&2
+  exit 1
+}
+
 cmake --build "$ROOT/$BUILD"
 
 ctest --test-dir "$ROOT/$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
@@ -22,7 +29,7 @@ ctest --test-dir "$ROOT/$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
 mkdir -p "$ROOT/results"
 
 # Benches migrated onto the exp/ runner (accept --jobs/--json).
-exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession bench_engine bench_robustness bench_workload"
+exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession bench_engine bench_robustness bench_adversary bench_workload"
 is_exp_bench() {
   local name="$1" b
   for b in $exp_benches; do [ "$b" = "$name" ] && return 0; done
@@ -44,12 +51,25 @@ for b in "$ROOT/$BUILD"/bench/*; do
   name="$(basename "$b")"
   echo "########## $name" | tee -a "$ROOT/bench_output.txt"
   if is_exp_bench "$name"; then
+    json="$ROOT/results/$name.json"
+    rm -f "$json"
+    set +e
     # shellcheck disable=SC2046  # trajectory_args is empty or two words
-    "$b" --jobs "$JOBS" --json "$ROOT/results/$name.json" \
+    "$b" --jobs "$JOBS" --json "$json" \
       $(trajectory_args "$name") 2>&1 \
       | tee -a "$ROOT/bench_output.txt"
+    status=${PIPESTATUS[0]}
+    set -e
+    [ "$status" -eq 0 ] || fail "$name exited with status $status"
+    [ -s "$json" ] || fail "$name emitted no JSON ($json missing or empty)"
+    grep -q '"runs"' "$json" ||
+      fail "$name JSON is malformed: no \"runs\" array in $json"
   else
+    set +e
     "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
+    status=${PIPESTATUS[0]}
+    set -e
+    [ "$status" -eq 0 ] || fail "$name exited with status $status"
   fi
   echo | tee -a "$ROOT/bench_output.txt"
 done
