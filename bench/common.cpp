@@ -305,7 +305,8 @@ double peak_rss_mib() {
 
 bool write_trajectory(
     const Options& opt, const std::string& experiment, double wall_seconds,
-    const std::vector<std::pair<std::string, double>>& metrics) {
+    const std::vector<std::pair<std::string, double>>& metrics,
+    double sender_bytes_per_receiver) {
   if (opt.trajectory_path.empty()) return true;
   std::FILE* f = std::fopen(opt.trajectory_path.c_str(), "w");
   if (!f) {
@@ -323,6 +324,9 @@ bool write_trajectory(
   std::fprintf(f, "  \"metrics\": {\n");
   std::fprintf(f, "    \"wall_seconds\": %.3f,\n", wall_seconds);
   std::fprintf(f, "    \"peak_rss_mib\": %.1f", peak_rss_mib());
+  if (sender_bytes_per_receiver >= 0.0)
+    std::fprintf(f, ",\n    \"sender_bytes_per_receiver\": %g",
+                 sender_bytes_per_receiver);
   for (const auto& [key, value] : metrics)
     std::fprintf(f, ",\n    \"%s\": %g", key.c_str(), value);
   std::fprintf(f, "\n  }\n}\n");

@@ -112,9 +112,12 @@ double peak_rss_mib();
 /// Writes the --trajectory snapshot: {"experiment", "config", "metrics"}
 /// with flat numeric metrics. No-op (returns true) when path is empty;
 /// returns false and warns on I/O failure. peak_rss_mib and wall seconds
-/// are always included alongside the bench-specific entries.
+/// are always included alongside the bench-specific entries;
+/// `sender_bytes_per_receiver` is the standard sender-memory headline
+/// (bench_scale) and is emitted only when non-negative.
 bool write_trajectory(
     const Options& opt, const std::string& experiment, double wall_seconds,
-    const std::vector<std::pair<std::string, double>>& metrics);
+    const std::vector<std::pair<std::string, double>>& metrics,
+    double sender_bytes_per_receiver = -1.0);
 
 }  // namespace rlacast::bench

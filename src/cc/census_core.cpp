@@ -1,0 +1,239 @@
+#include "cc/census_core.hpp"
+
+#include <algorithm>
+
+namespace rlacast::cc {
+
+void CensusCore::reserve(std::size_t n) {
+  troubled.reserve(n);
+  state.reserve(n);
+  if (slim_) {
+    slot_.reserve(n);
+    return;
+  }
+  interval_.reserve(n);
+  last_signal_.reserve(n);
+  signals_.reserve(n);
+  epoch_signals_.reserve(n);
+  srtt_.reserve(n);
+  state_until_.reserve(n);
+  strikes_.reserve(n);
+}
+
+int CensusCore::add() {
+  troubled.push_back(0);
+  state.push_back(MemberState::kActive);
+  if (slim_) {
+    slot_.push_back(-1);
+  } else {
+    interval_.emplace_back(gain_);
+    last_signal_.push_back(sim::kNever);
+    signals_.push_back(0);
+    epoch_signals_.push_back(0);
+    srtt_.push_back(0.0);
+    state_until_.push_back(0.0);
+    strikes_.push_back(0);
+  }
+  return static_cast<int>(state.size()) - 1;
+}
+
+CensusCore::MemberStats& CensusCore::ensure_slot(int i) {
+  const auto u = static_cast<std::size_t>(i);
+  if (slot_[u] < 0) {
+    slot_[u] = static_cast<std::int32_t>(stats_.size());
+    stats_.emplace_back(gain_);
+  }
+  return stats_[static_cast<std::size_t>(slot_[u])];
+}
+
+void CensusCore::record_signal(int i, sim::SimTime now) {
+  const auto u = static_cast<std::size_t>(i);
+  if (slim_) {
+    MemberStats& m = ensure_slot(i);
+    if (m.last_signal != sim::kNever) m.interval.add(now - m.last_signal);
+    m.last_signal = now;
+    ++m.signals;
+    ++m.epoch_signals;
+    return;
+  }
+  if (last_signal_[u] != sim::kNever) interval_[u].add(now - last_signal_[u]);
+  last_signal_[u] = now;
+  ++signals_[u];
+  ++epoch_signals_[u];
+}
+
+void CensusCore::reset_epoch(int i) {
+  const auto u = static_cast<std::size_t>(i);
+  if (slim_) {
+    // A member with no slot has no history to forget.
+    if (MemberStats* m = slot_of(i)) {
+      m->interval = stats::Ewma(gain_);
+      m->last_signal = sim::kNever;
+      m->epoch_signals = 0;
+    }
+    return;
+  }
+  interval_[u] = stats::Ewma(gain_);
+  last_signal_[u] = sim::kNever;
+  epoch_signals_[u] = 0;
+}
+
+double CensusCore::effective_interval(int i, sim::SimTime now) const {
+  if (excluded(i)) return -1.0;
+  const stats::Ewma* ewma;
+  sim::SimTime last;
+  if (slim_) {
+    const MemberStats* m = slot_of(i);
+    if (m == nullptr || m->epoch_signals == 0) return -1.0;
+    ewma = &m->interval;
+    last = m->last_signal;
+  } else {
+    const auto u = static_cast<std::size_t>(i);
+    if (epoch_signals_[u] == 0) return -1.0;
+    ewma = &interval_[u];
+    last = last_signal_[u];
+  }
+  const double since_last = now - last;
+  if (!ewma->initialized()) return std::max(since_last, 1e-12);
+  return std::max(ewma->value(), since_last);
+}
+
+double CensusCore::srtt_of(int i) const {
+  if (!slim_) return srtt_[static_cast<std::size_t>(i)];
+  const MemberStats* m = slot_of(i);
+  return m != nullptr ? m->srtt : 0.0;
+}
+
+void CensusCore::set_srtt(int i, double srtt, bool ensure) {
+  if (!slim_) {
+    srtt_[static_cast<std::size_t>(i)] = srtt;
+    return;
+  }
+  if (MemberStats* m = slot_of(i)) {
+    m->srtt = srtt;
+    return;
+  }
+  if (ensure) ensure_slot(i).srtt = srtt;
+}
+
+sim::SimTime CensusCore::last_signal_at(int i) const {
+  if (!slim_) return last_signal_[static_cast<std::size_t>(i)];
+  const MemberStats* m = slot_of(i);
+  return m != nullptr ? m->last_signal : sim::kNever;
+}
+
+std::uint64_t CensusCore::signal_count(int i) const {
+  if (!slim_) return signals_[static_cast<std::size_t>(i)];
+  const MemberStats* m = slot_of(i);
+  return m != nullptr ? m->signals : 0;
+}
+
+std::uint64_t CensusCore::epoch_signal_count(int i) const {
+  if (!slim_) return epoch_signals_[static_cast<std::size_t>(i)];
+  const MemberStats* m = slot_of(i);
+  return m != nullptr ? m->epoch_signals : 0;
+}
+
+int CensusCore::strike_count(int i) const {
+  if (!slim_) return strikes_[static_cast<std::size_t>(i)];
+  const MemberStats* m = slot_of(i);
+  return m != nullptr ? m->strikes : 0;
+}
+
+int CensusCore::add_strike(int i) {
+  if (!slim_) return ++strikes_[static_cast<std::size_t>(i)];
+  return ++ensure_slot(i).strikes;
+}
+
+sim::SimTime CensusCore::state_until_of(int i) const {
+  if (!slim_) return state_until_[static_cast<std::size_t>(i)];
+  const MemberStats* m = slot_of(i);
+  return m != nullptr ? m->state_until : 0.0;
+}
+
+void CensusCore::set_state_until(int i, sim::SimTime t) {
+  if (!slim_) {
+    state_until_[static_cast<std::size_t>(i)] = t;
+    return;
+  }
+  ensure_slot(i).state_until = t;
+}
+
+std::size_t CensusCore::state_bytes() const {
+  std::size_t b = troubled.capacity() + state.capacity() * sizeof(MemberState);
+  if (slim_) {
+    b += slot_.capacity() * sizeof(std::int32_t);
+    b += stats_.capacity() * sizeof(MemberStats);
+    return b;
+  }
+  b += interval_.capacity() * sizeof(stats::Ewma) +
+       last_signal_.capacity() * sizeof(sim::SimTime) +
+       signals_.capacity() * sizeof(std::uint64_t) +
+       epoch_signals_.capacity() * sizeof(std::uint64_t) +
+       srtt_.capacity() * sizeof(double) +
+       state_until_.capacity() * sizeof(sim::SimTime) +
+       strikes_.capacity() * sizeof(int);
+  return b;
+}
+
+std::uint64_t SampleReservoir::hash(int i) const {
+  // splitmix64 finalizer: a fixed bijection of (seed + id), so the sample
+  // is a deterministic function of the active set and consumes no RNG.
+  std::uint64_t x = seed_ + static_cast<std::uint64_t>(i);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void SampleReservoir::insert(int i) {
+  if (capacity_ == 0) return;
+  if (static_cast<std::size_t>(i) >= in_sample_.size())
+    in_sample_.resize(static_cast<std::size_t>(i) + 1, 0);
+  const Entry e{hash(i), i};
+  if (entries_.size() == capacity_ && !(e < entries_.back())) return;
+  if (entries_.size() == capacity_) {
+    in_sample_[static_cast<std::size_t>(entries_.back().id)] = 0;
+    entries_.pop_back();
+  }
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), e), e);
+  in_sample_[static_cast<std::size_t>(i)] = 1;
+  refresh_ids();
+}
+
+void SampleReservoir::erase(int i, const CensusCore& core) {
+  if (!tracked(i)) return;
+  in_sample_[static_cast<std::size_t>(i)] = 0;
+  // The evicted slot may admit the smallest not-yet-tracked active member;
+  // only a full rescan knows which one that is.
+  rebuild(core);
+}
+
+void SampleReservoir::rebuild(const CensusCore& core) {
+  scratch_.clear();
+  std::fill(in_sample_.begin(), in_sample_.end(), 0);
+  if (in_sample_.size() < core.size()) in_sample_.resize(core.size(), 0);
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    if (core.excluded(static_cast<int>(i))) continue;
+    scratch_.push_back(Entry{hash(static_cast<int>(i)), static_cast<int>(i)});
+  }
+  if (scratch_.size() > capacity_) {
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(capacity_),
+                     scratch_.end());
+    scratch_.resize(capacity_);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  entries_ = scratch_;
+  for (const Entry& e : entries_)
+    in_sample_[static_cast<std::size_t>(e.id)] = 1;
+  refresh_ids();
+}
+
+void SampleReservoir::refresh_ids() {
+  ids_.clear();
+  ids_.reserve(entries_.size());
+  for (const Entry& e : entries_) ids_.push_back(e.id);
+}
+
+}  // namespace rlacast::cc

@@ -1,0 +1,234 @@
+// Flat SoA storage core of the troubled-receiver census, plus the
+// deterministic bottom-k sample reservoir of the sampled census mode.
+//
+// CensusCore keeps the per-member fields of the census in one of two
+// layouts, selected with set_slim() before members join:
+//
+//  * dense (default, the kExact census): every field is a parallel array
+//    indexed by the dense receiver id, so the per-signal census scan walks
+//    flat cache-friendly arrays instead of chasing one heap node per
+//    receiver;
+//  * slim (the kSampled census): only the two flag bytes (troubled, state)
+//    and a slot index stay dense.  The WIDE stats — interval EWMA, signal
+//    counters, srtt mirror, defense clocks — live in pooled slots allocated
+//    on first use: reservoir members, signallers, and quarantined members.
+//    A member that never loses a packet costs ~6 bytes instead of ~70, which
+//    is what makes the sampled sender's per-receiver memory sublinear.
+//    Slots are never freed (strike history must survive rejoins); the pool
+//    is bounded by reservoir + ever-troubled, not by N.
+//
+// All policy — the troubled rule, the defense state machine, sampling
+// estimates — stays in cc::TroubledCensus; this file is pure bookkeeping.
+//
+// SampleReservoir implements the kSampled census mode's membership sample:
+// the k members with the smallest splitmix64 hash of their id.  The hash is
+// a pure function of (seed, id), so the sample is a deterministic function
+// of the active-member set — no RNG stream is consumed, which keeps
+// record/replay bit-identity and means kSampled with reservoir >= N tracks
+// exactly the active set (the equivalence the census property tests pin).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/ewma.hpp"
+
+namespace rlacast::cc {
+
+/// Census accounting mode (see cc::TroubledCensus).
+///  * kExact   — every signal rescans all members: O(N) per signal, the
+///               historical byte-identical census.
+///  * kSampled — num_trouble_rcvr and srtt_max are estimated from a bounded
+///               bottom-k hash reservoir: O(k) per signal, O(N) only on the
+///               rare membership change.
+enum class CensusMode : std::uint8_t { kExact, kSampled };
+
+/// Sampled-census knobs. The default (kExact) is byte-identical to the
+/// historical census; set mode = kSampled before receivers join.
+struct CensusSampleParams {
+  CensusMode mode = CensusMode::kExact;
+  /// Reservoir capacity k. With k >= the active-member count the sample is
+  /// the whole membership and every census decision matches kExact
+  /// bit-for-bit; at k << N the num_trouble estimate has relative standard
+  /// error ~ sqrt((1-f)/(f*k)) for troubled fraction f (see DESIGN.md).
+  std::size_t reservoir = 256;
+  /// Seed of the member-id hash (any fixed value works; it only decorrelates
+  /// the sample from the join order).
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// Membership state of one receiver in the hardened census.
+enum class MemberState : std::uint8_t {
+  kActive,       // full participant
+  kProbation,    // rejoined, watched under the stricter rate factor
+  kQuarantined,  // timed exclusion (counts as excluded())
+  kExcluded,     // permanent (leave, silent-drop, slow-drop, strike-out)
+};
+
+/// The member table. cc::TroubledCensus is the only driver; all access to
+/// the wide per-member stats goes through the accessors below so the dense
+/// and slim layouts stay interchangeable.
+class CensusCore {
+ public:
+  explicit CensusCore(double interval_gain) : gain_(interval_gain) {}
+
+  /// Selects the slim (sparse-slot) layout; call before members join.
+  void set_slim(bool slim) { slim_ = slim; }
+  bool is_slim() const { return slim_; }
+
+  /// Reserves the member arrays for `n` members (capacity hint only;
+  /// state_bytes() reports capacity, so growth overshoot is not free).
+  void reserve(std::size_t n);
+
+  /// Appends one member; returns its dense id.
+  int add();
+
+  std::size_t size() const { return state.size(); }
+
+  bool excluded(int i) const {
+    const MemberState s = state[static_cast<std::size_t>(i)];
+    return s == MemberState::kQuarantined || s == MemberState::kExcluded;
+  }
+
+  /// EWMA + counter update for one congestion signal (no policy).
+  void record_signal(int i, sim::SimTime now);
+
+  /// Fresh census epoch on rejoin: history earned while quarantined must
+  /// not survive (a stale last_signal would poison the interval).
+  void reset_epoch(int i);
+
+  /// Effective congestion-signal interval of member `i` (see
+  /// cc::TroubledCensus): max(EWMA, time since last signal); negative while
+  /// the member is excluded or has no signal in its current epoch.
+  double effective_interval(int i, sim::SimTime now) const;
+
+  // --- wide per-member stats, layout-independent ---------------------------
+  double srtt_of(int i) const;
+  /// Mirrors member `i`'s srtt. In the slim layout the value is only kept
+  /// when a slot exists or `ensure_slot` is set (the caller passes the
+  /// reservoir-tracked bit) — an untracked healthy member's srtt is never
+  /// read by any sampled aggregate, so storing it would defeat the layout.
+  void set_srtt(int i, double srtt, bool ensure_slot);
+  sim::SimTime last_signal_at(int i) const;
+  std::uint64_t signal_count(int i) const;
+  std::uint64_t epoch_signal_count(int i) const;
+  int strike_count(int i) const;
+  /// Increments and returns `i`'s strike count (allocates its slot).
+  int add_strike(int i);
+  sim::SimTime state_until_of(int i) const;
+  void set_state_until(int i, sim::SimTime t);
+
+  /// Number of wide-stat slots in use (slim layout; == size() when dense).
+  std::size_t slot_count() const {
+    return slim_ ? stats_.size() : state.size();
+  }
+
+  /// Resident bytes of the member table (capacity-based).
+  std::size_t state_bytes() const;
+
+  // Dense per-member flag arrays (both layouts), indexed by receiver id.
+  std::vector<std::uint8_t> troubled;  // current troubled flag
+  std::vector<MemberState> state;      // defense state machine
+
+ private:
+  /// Wide per-member stats: one slot in the slim layout, one array element
+  /// per field in the dense layout.
+  struct MemberStats {
+    explicit MemberStats(double gain) : interval(gain) {}
+    stats::Ewma interval;                     // signal-interval EWMA
+    sim::SimTime last_signal = sim::kNever;   // most recent signal time
+    std::uint64_t signals = 0;                // lifetime count
+    std::uint64_t epoch_signals = 0;          // since join / last rejoin
+    double srtt = 0.0;                        // sender-reported srtt mirror
+    sim::SimTime state_until = 0.0;           // quarantine/probation expiry
+    int strikes = 0;                          // defense strike count
+  };
+
+  const MemberStats* slot_of(int i) const {
+    const std::int32_t s = slot_[static_cast<std::size_t>(i)];
+    return s >= 0 ? &stats_[static_cast<std::size_t>(s)] : nullptr;
+  }
+  MemberStats* slot_of(int i) {
+    const std::int32_t s = slot_[static_cast<std::size_t>(i)];
+    return s >= 0 ? &stats_[static_cast<std::size_t>(s)] : nullptr;
+  }
+  MemberStats& ensure_slot(int i);
+
+  bool slim_ = false;
+  double gain_;
+
+  // Dense layout: parallel wide-stat arrays (kExact's cache-friendly scan).
+  std::vector<stats::Ewma> interval_;
+  std::vector<sim::SimTime> last_signal_;
+  std::vector<std::uint64_t> signals_;
+  std::vector<std::uint64_t> epoch_signals_;
+  std::vector<double> srtt_;
+  std::vector<sim::SimTime> state_until_;
+  std::vector<int> strikes_;
+
+  // Slim layout: slot index per member + pooled wide stats.
+  std::vector<std::int32_t> slot_;
+  std::vector<MemberStats> stats_;
+};
+
+/// Bottom-k hash sample over the active census members: the k active ids
+/// with the smallest splitmix64(seed + id).  Insert is O(k); removing a
+/// sampled member triggers a full O(N log k) rebuild (membership changes —
+/// joins, leaves, quarantines — are rare next to signals).  Deterministic:
+/// no RNG stream is consumed.
+class SampleReservoir {
+ public:
+  void configure(std::size_t capacity, std::uint64_t seed) {
+    capacity_ = capacity;
+    seed_ = seed;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Capacity hint for the dense per-member flag array.
+  void reserve(std::size_t n) { in_sample_.reserve(n); }
+
+  /// Member `i` became active (join or rejoin).
+  void insert(int i);
+
+  /// Member `i` became inactive (quarantine, exclusion); rebuilds from
+  /// `core` when `i` was part of the sample.
+  void erase(int i, const CensusCore& core);
+
+  /// True when `i` is currently one of the bottom-k sampled members.
+  bool tracked(int i) const {
+    return static_cast<std::size_t>(i) < in_sample_.size() &&
+           in_sample_[static_cast<std::size_t>(i)] != 0;
+  }
+
+  /// Sampled member ids in hash order (smallest first).
+  const std::vector<int>& sample() const { return ids_; }
+
+  std::size_t state_bytes() const {
+    return entries_.capacity() * sizeof(entries_[0]) +
+           ids_.capacity() * sizeof(int) + in_sample_.capacity();
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    int id;
+    bool operator<(const Entry& o) const {
+      return hash != o.hash ? hash < o.hash : id < o.id;
+    }
+  };
+
+  std::uint64_t hash(int i) const;
+  void rebuild(const CensusCore& core);
+  void refresh_ids();
+
+  std::size_t capacity_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<Entry> entries_;           // sorted, size <= capacity_
+  std::vector<Entry> scratch_;           // rebuild workspace
+  std::vector<int> ids_;                 // entries_[*].id (scan order)
+  std::vector<std::uint8_t> in_sample_;  // per-member flag
+};
+
+}  // namespace rlacast::cc

@@ -15,6 +15,7 @@ void Scoreboard::on_retransmit(net::SeqNum seq) {
   auto it = pkts_.find(seq);
   if (it == pkts_.end()) return;
   const bool was_in_pipe = in_pipe(it->second);
+  if (!it->second.rexmitted) ++rexmit_count_;
   it->second.rexmitted = true;
   if (!was_in_pipe && in_pipe(it->second)) ++pipe_;  // repair re-enters
 }
@@ -23,6 +24,7 @@ void Scoreboard::clear_retransmitted(net::SeqNum seq) {
   auto it = pkts_.find(seq);
   if (it == pkts_.end()) return;
   const bool was_in_pipe = in_pipe(it->second);
+  if (it->second.rexmitted) --rexmit_count_;
   it->second.rexmitted = false;
   if (was_in_pipe && !in_pipe(it->second)) --pipe_;  // presumed lost again
 }
@@ -34,6 +36,7 @@ std::int64_t Scoreboard::advance(net::SeqNum new_una) {
   while (it != pkts_.end() && it->first < new_una) {
     if (it->second.sacked) --sacked_count_;
     if (it->second.lost && !it->second.sacked) --lost_count_;
+    if (it->second.rexmitted) --rexmit_count_;
     if (in_pipe(it->second)) --pipe_;
     it = pkts_.erase(it);
   }
@@ -45,9 +48,13 @@ std::int64_t Scoreboard::advance(net::SeqNum new_una) {
 int Scoreboard::apply_sack(const net::SackBlock* blocks, int n_blocks) {
   int newly = 0;
   for (int b = 0; b < n_blocks; ++b) {
-    for (net::SeqNum s = std::max(blocks[b].lo, una_); s < blocks[b].hi; ++s) {
-      auto it = pkts_.find(s);
-      if (it == pkts_.end() || it->second.sacked) continue;
+    // One ordered walk per block instead of a map lookup per sequence: a
+    // block re-covering an already-SACKed span (every ACK from a receiver
+    // in a long recovery does this) costs a pointer chase per node, not a
+    // tree search per sequence.
+    const auto lo = pkts_.lower_bound(std::max(blocks[b].lo, una_));
+    for (auto it = lo; it != pkts_.end() && it->first < blocks[b].hi; ++it) {
+      if (it->second.sacked) continue;
       if (in_pipe(it->second)) --pipe_;  // SACKed packets leave the pipe
       it->second.sacked = true;
       ++sacked_count_;
@@ -87,6 +94,7 @@ void Scoreboard::mark_all_lost() {
       st.lost = true;
       ++lost_count_;
     }
+    if (st.rexmitted) --rexmit_count_;
     st.rexmitted = false;
     if (was_in_pipe && !in_pipe(st)) --pipe_;
   }
@@ -95,6 +103,16 @@ void Scoreboard::mark_all_lost() {
 bool Scoreboard::is_sacked(net::SeqNum seq) const {
   const auto it = pkts_.find(seq);
   return it != pkts_.end() && it->second.sacked;
+}
+
+net::SeqNum Scoreboard::first_missing() const {
+  if (fm_cursor_ < una_) fm_cursor_ = una_;
+  while (fm_cursor_ < high_) {
+    const auto it = pkts_.find(fm_cursor_);
+    if (it == pkts_.end() || !it->second.sacked) break;
+    ++fm_cursor_;
+  }
+  return fm_cursor_;
 }
 
 bool Scoreboard::is_lost(net::SeqNum seq) const {
@@ -116,7 +134,8 @@ net::SeqNum Scoreboard::next_to_retransmit() const {
 void Scoreboard::reset(net::SeqNum next_seq) {
   pkts_.clear();
   una_ = high_ = next_seq;
-  sacked_count_ = lost_count_ = 0;
+  fm_cursor_ = next_seq;  // pooled boards get reused at lower sequences
+  sacked_count_ = lost_count_ = rexmit_count_ = 0;
   pipe_ = 0;
 }
 

@@ -55,6 +55,16 @@ class Scoreboard {
   bool is_lost(net::SeqNum seq) const;
   bool was_retransmitted(net::SeqNum seq) const;
 
+  /// First unSACKed sequence at or above una (the receiver's true
+  /// reassembly point once SACKed data above a hole is accounted for).
+  /// Amortized O(1): a SACK flag never reverts while the packet is
+  /// outstanding, so the scan cursor only ever moves forward.  Without the
+  /// cursor this walk is O(hole span) per call, and a receiver whose
+  /// cumulative point is pinned (a misbehaving frozen-ACK coalition, or
+  /// simply a very long recovery) grows that span without bound — the
+  /// reach-all aggregate consults first_missing on every ACK.
+  net::SeqNum first_missing() const;
+
   /// Lowest lost-and-not-yet-retransmitted packet; kNoSeq if none.
   net::SeqNum next_to_retransmit() const;
 
@@ -69,6 +79,23 @@ class Scoreboard {
 
   std::int64_t sacked_count() const { return sacked_count_; }
   std::int64_t lost_count() const { return lost_count_; }
+  std::int64_t rexmit_count() const { return rexmit_count_; }
+
+  /// True when no outstanding packet carries any SACK/loss/retransmit mark —
+  /// i.e. the board holds no information beyond (una, high).  The RLA
+  /// sender's receiver table reclaims materialized boards in this state
+  /// back to the compact per-receiver representation.
+  bool clean() const {
+    return sacked_count_ == 0 && lost_count_ == 0 && rexmit_count_ == 0;
+  }
+
+  /// Resident bytes: per-packet map nodes plus the object itself.  The map
+  /// node estimate (key/value + 3 pointers + color) matches libstdc++'s
+  /// _Rb_tree_node layout closely enough for the scale benches.
+  std::size_t state_bytes() const {
+    return sizeof(*this) + pkts_.size() * (sizeof(net::SeqNum) + sizeof(State) +
+                                           4 * sizeof(void*));
+  }
 
   /// Drops all per-packet state (session restart in tests).
   void reset(net::SeqNum next_seq);
@@ -88,8 +115,10 @@ class Scoreboard {
   std::map<net::SeqNum, State> pkts_;  // only seqs in [una_, high_)
   net::SeqNum una_ = 0;
   net::SeqNum high_ = 0;
+  mutable net::SeqNum fm_cursor_ = 0;  // first_missing scan cursor
   std::int64_t sacked_count_ = 0;
   std::int64_t lost_count_ = 0;  // lost and not SACKed since
+  std::int64_t rexmit_count_ = 0;  // entries with the rexmitted flag set
   std::int64_t pipe_ = 0;
 };
 

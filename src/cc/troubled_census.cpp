@@ -24,44 +24,95 @@ double robust_clamped_max(std::vector<double>& values, double k_mads) {
   return std::min(plain_max, std::max(hi, median));
 }
 
+void TroubledCensus::configure_sampling(const CensusSampleParams& sampling) {
+  sampling_ = sampling;
+  if (sampling_.mode == CensusMode::kSampled) {
+    // The slim (sparse-slot) member layout only engages when the mode is
+    // chosen before members join; a late switch keeps the dense layout so
+    // no per-member history is lost.
+    if (core_.size() == 0) core_.set_slim(true);
+    reservoir_.configure(sampling_.reservoir, sampling_.seed);
+    for (std::size_t i = 0; i < core_.size(); ++i)
+      if (!core_.excluded(static_cast<int>(i)))
+        reservoir_.insert(static_cast<int>(i));
+  }
+}
+
 int TroubledCensus::add_receiver() {
-  rcvrs_.emplace_back(gain_);
-  return static_cast<int>(rcvrs_.size()) - 1;
+  const int idx = core_.add();
+  ++active_count_;
+  ++membership_version_;
+  if (sampling_.mode == CensusMode::kSampled) reservoir_.insert(idx);
+  return idx;
+}
+
+void TroubledCensus::membership_changed(int i, bool now_active) {
+  ++membership_version_;
+  active_count_ += now_active ? 1 : -1;
+  if (sampling_.mode == CensusMode::kSampled) {
+    if (now_active)
+      reservoir_.insert(i);
+    else
+      reservoir_.erase(i, core_);
+  }
+}
+
+void TroubledCensus::clear_troubled(int i) {
+  const auto u = static_cast<std::size_t>(i);
+  if (core_.troubled[u] != 0) {
+    core_.troubled[u] = 0;
+    --num_troubled_;
+  }
+}
+
+void TroubledCensus::set_troubled(int i) {
+  const auto u = static_cast<std::size_t>(i);
+  if (core_.troubled[u] == 0) {
+    core_.troubled[u] = 1;
+    flagged_.push_back(i);
+    ++num_troubled_;
+  }
 }
 
 void TroubledCensus::on_signal(int i, sim::SimTime now) {
-  Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
-  if (r.state == MemberState::kQuarantined || r.state == MemberState::kExcluded)
-    return;
-  if (r.last_signal != sim::kNever) r.interval.add(now - r.last_signal);
-  r.last_signal = now;
-  ++r.signals;
-  ++r.epoch_signals;
+  if (core_.excluded(i)) return;
+  core_.record_signal(i, now);
   ++total_signals_;
+  last_signaller_ = i;
   if (defense_.enabled) rate_check(i, now);
 }
 
 void TroubledCensus::exclude(int i) {
-  Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
-  if (r.troubled) --num_troubled_;
-  r.troubled = false;
-  r.state = MemberState::kExcluded;
+  if (core_.state[static_cast<std::size_t>(i)] == MemberState::kExcluded)
+    return;
+  clear_troubled(i);
+  const bool was_active = !core_.excluded(i);
+  core_.state[static_cast<std::size_t>(i)] = MemberState::kExcluded;
+  if (was_active) membership_changed(i, /*now_active=*/false);
 }
 
 void TroubledCensus::rate_check(int i, sim::SimTime now) {
-  Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
-  if (r.epoch_signals < defense_.min_signals) return;
-  const double mine = effective_interval(i, now);
+  const auto u = static_cast<std::size_t>(i);
+  if (core_.epoch_signal_count(i) < defense_.min_signals) return;
+  const double mine = core_.effective_interval(i, now);
   if (mine <= 0.0) return;
   // Median interval over the OTHER members still speaking for themselves.
+  // kSampled consults the reservoir cohort — the same members every other
+  // census aggregate is estimated from.
   interval_scratch_.clear();
-  for (std::size_t j = 0; j < rcvrs_.size(); ++j) {
-    if (static_cast<int>(j) == i) continue;
-    const Rcvr& o = rcvrs_[j];
-    if (o.state == MemberState::kQuarantined || o.state == MemberState::kExcluded)
-      continue;
-    const double e = effective_interval(static_cast<int>(j), now);
-    if (e > 0.0) interval_scratch_.push_back(e);
+  if (sampling_.mode == CensusMode::kSampled) {
+    for (const int j : reservoir_.sample()) {
+      if (j == i) continue;
+      const double e = core_.effective_interval(j, now);
+      if (e > 0.0) interval_scratch_.push_back(e);
+    }
+  } else {
+    for (std::size_t j = 0; j < core_.size(); ++j) {
+      if (static_cast<int>(j) == i) continue;
+      if (core_.excluded(static_cast<int>(j))) continue;
+      const double e = core_.effective_interval(static_cast<int>(j), now);
+      if (e > 0.0) interval_scratch_.push_back(e);
+    }
   }
   // With fewer than 2 honest peers there is no cohort to compare against.
   if (interval_scratch_.size() < 2) return;
@@ -70,67 +121,86 @@ void TroubledCensus::rate_check(int i, sim::SimTime now) {
                    interval_scratch_.begin() + static_cast<std::ptrdiff_t>(mid),
                    interval_scratch_.end());
   const double median = interval_scratch_[mid];
-  const double factor = (r.state == MemberState::kProbation)
-                            ? defense_.probation_rate_factor
-                            : defense_.rate_factor;
+  const double factor =
+      (core_.state[u] == MemberState::kProbation)
+          ? defense_.probation_rate_factor
+          : defense_.rate_factor;
   // Violation: signalling more than `factor` times faster than the median
   // peer.  The census minimum can be dragged by one liar; the median cannot.
   if (mine * factor < median) quarantine(i, now);
 }
 
 void TroubledCensus::quarantine(int i, sim::SimTime now) {
-  Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
-  if (r.troubled) --num_troubled_;
-  r.troubled = false;
-  ++r.strikes;
+  const auto u = static_cast<std::size_t>(i);
+  clear_troubled(i);
+  const int strikes = core_.add_strike(i);
   ++quarantines_;
-  if (defense_.max_strikes > 0 && r.strikes >= defense_.max_strikes) {
-    r.state = MemberState::kExcluded;
+  if (defense_.max_strikes > 0 && strikes >= defense_.max_strikes) {
+    core_.state[u] = MemberState::kExcluded;
     ++strikeouts_;
+    membership_changed(i, /*now_active=*/false);
     return;
   }
-  r.state = MemberState::kQuarantined;
+  core_.state[u] = MemberState::kQuarantined;
   // Escalating dwell: strike k serves quarantine_seconds * 2^(k-1).
   const double dwell =
-      defense_.quarantine_seconds * std::ldexp(1.0, r.strikes - 1);
-  r.state_until = now + dwell;
+      defense_.quarantine_seconds * std::ldexp(1.0, strikes - 1);
+  core_.set_state_until(i, now + dwell);
+  next_state_check_ = std::min(next_state_check_, now + dwell);
+  membership_changed(i, /*now_active=*/false);
+}
+
+void TroubledCensus::force_quarantine(int i, sim::SimTime now) {
+  if (core_.excluded(i)) return;
+  quarantine(i, now);
 }
 
 std::vector<int> TroubledCensus::advance_states(sim::SimTime now) {
   std::vector<int> rejoined;
-  if (!defense_.enabled) return rejoined;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-    Rcvr& r = rcvrs_[i];
-    if (r.state == MemberState::kQuarantined && now >= r.state_until) {
-      r.state = MemberState::kProbation;
-      r.state_until = now + defense_.probation_seconds;
+  // The historical fast path: with the defense off and nothing ever
+  // force-quarantined, there is no state machine to advance.
+  if (!defense_.enabled && quarantines_ == 0) return rejoined;
+  // Amortized O(1): skip the scan until the earliest pending expiry.
+  if (now < next_state_check_) return rejoined;
+  next_state_check_ = 1e18;
+  for (std::size_t i = 0; i < core_.size(); ++i) {
+    const int id = static_cast<int>(i);
+    if (core_.state[i] == MemberState::kQuarantined &&
+        now >= core_.state_until_of(id)) {
+      core_.state[i] = MemberState::kProbation;
+      core_.set_state_until(id, now + defense_.probation_seconds);
       // Fresh census epoch: history earned while lying must not survive
       // the rejoin (and a stale last_signal would poison the interval).
-      r.interval = stats::Ewma(gain_);
-      r.last_signal = sim::kNever;
-      r.epoch_signals = 0;
-      rejoined.push_back(static_cast<int>(i));
-    } else if (r.state == MemberState::kProbation && now >= r.state_until) {
-      r.state = MemberState::kActive;
+      core_.reset_epoch(id);
+      membership_changed(id, /*now_active=*/true);
+      rejoined.push_back(id);
+    } else if (core_.state[i] == MemberState::kProbation &&
+               now >= core_.state_until_of(id)) {
+      core_.state[i] = MemberState::kActive;
     }
+    if (core_.state[i] == MemberState::kQuarantined ||
+        core_.state[i] == MemberState::kProbation)
+      next_state_check_ = std::min(next_state_check_, core_.state_until_of(id));
   }
   return rejoined;
 }
 
-double TroubledCensus::effective_interval(int i, sim::SimTime now) const {
-  const Rcvr& r = rcvrs_[static_cast<std::size_t>(i)];
-  if (r.state == MemberState::kQuarantined ||
-      r.state == MemberState::kExcluded || r.epoch_signals == 0)
-    return -1.0;
-  const double since_last = now - r.last_signal;
-  if (!r.interval.initialized()) return std::max(since_last, 1e-12);
-  return std::max(r.interval.value(), since_last);
-}
-
 double TroubledCensus::min_interval(sim::SimTime now) const {
   double best = -1.0;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-    const double e = effective_interval(static_cast<int>(i), now);
+  if (sampling_.mode == CensusMode::kSampled) {
+    for (const int i : reservoir_.sample()) {
+      const double e = core_.effective_interval(i, now);
+      if (e < 0.0) continue;
+      if (best < 0.0 || e < best) best = e;
+    }
+    if (last_signaller_ >= 0 && !reservoir_.tracked(last_signaller_)) {
+      const double e = core_.effective_interval(last_signaller_, now);
+      if (e >= 0.0 && (best < 0.0 || e < best)) best = e;
+    }
+    return best;
+  }
+  for (std::size_t i = 0; i < core_.size(); ++i) {
+    const double e = core_.effective_interval(static_cast<int>(i), now);
     if (e < 0.0) continue;
     if (best < 0.0 || e < best) best = e;
   }
@@ -139,25 +209,149 @@ double TroubledCensus::min_interval(sim::SimTime now) const {
 
 int TroubledCensus::recompute(sim::SimTime now) {
   const double min_int = min_interval(now);
-  num_troubled_ = 0;
-  for (auto& r : rcvrs_) {
-    r.troubled = false;
+  for (const int i : flagged_) {
+    const auto u = static_cast<std::size_t>(i);
+    core_.troubled[u] = 0;
   }
+  flagged_.clear();
+  num_troubled_ = 0;
   if (min_int < 0.0) return 0;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-    Rcvr& r = rcvrs_[i];
-    if (r.state == MemberState::kQuarantined ||
-        r.state == MemberState::kExcluded || r.epoch_signals == 0)
+  const double bound = eta_ * min_int;
+
+  if (sampling_.mode == CensusMode::kSampled) {
+    // Scan the reservoir; scale the troubled count to the membership.
+    int raw = 0;
+    const std::vector<int>& sample = reservoir_.sample();
+    for (const int i : sample) {
+      const double e = core_.effective_interval(i, now);
+      // The most-congested receiver satisfies e == min_int; the strict "<"
+      // of the paper is made "<=" scaled so that it is always troubled.
+      if (e >= 0.0 && e <= bound) {
+        core_.troubled[static_cast<std::size_t>(i)] = 1;
+        flagged_.push_back(i);
+        ++raw;
+      }
+    }
+    // The listening policy consults troubled(signaller) on every signal, so
+    // the most recent signaller is always evaluated exactly even when the
+    // hash sample skipped it.
+    bool signaller_troubled = false;
+    if (last_signaller_ >= 0 && !core_.excluded(last_signaller_)) {
+      const double e = core_.effective_interval(last_signaller_, now);
+      signaller_troubled = e >= 0.0 && e <= bound;
+      if (signaller_troubled && !reservoir_.tracked(last_signaller_)) {
+        core_.troubled[static_cast<std::size_t>(last_signaller_)] = 1;
+        flagged_.push_back(last_signaller_);
+      }
+    }
+    const double scale =
+        sample.empty() ? 0.0
+                       : static_cast<double>(active_count_) /
+                             static_cast<double>(sample.size());
+    num_troubled_ = static_cast<int>(
+        std::llround(static_cast<double>(raw) * scale));
+    if (raw > 0 || signaller_troubled)
+      num_troubled_ = std::max(num_troubled_, 1);
+    num_troubled_ = std::min(num_troubled_, active_count_);
+    return num_troubled_;
+  }
+
+  for (std::size_t i = 0; i < core_.size(); ++i) {
+    if (core_.excluded(static_cast<int>(i)) ||
+        core_.epoch_signal_count(static_cast<int>(i)) == 0)
       continue;
-    const double e = effective_interval(static_cast<int>(i), now);
+    const double e = core_.effective_interval(static_cast<int>(i), now);
     // The most-congested receiver satisfies e == min_int; the strict "<"
     // of the paper is made "<=" scaled so that it is always troubled.
-    if (e <= eta_ * min_int) {
-      r.troubled = true;
+    if (e <= bound) {
+      core_.troubled[i] = 1;
+      flagged_.push_back(static_cast<int>(i));
       ++num_troubled_;
     }
   }
   return num_troubled_;
+}
+
+void TroubledCensus::note_srtt(int i, double srtt) {
+  const bool tracked =
+      sampling_.mode != CensusMode::kSampled || reservoir_.tracked(i);
+  core_.set_srtt(i, srtt, /*ensure_slot=*/tracked);
+  ++srtt_version_;
+  robust_valid_ = false;
+  if (!tracked) return;
+  if (core_.excluded(i)) return;
+  if (!srtt_max_valid_ || srtt_max_membership_ != membership_version_) return;
+  if (srtt >= srtt_max_cache_) {
+    srtt_max_cache_ = srtt;
+    srtt_holder_ = i;
+  } else if (i == srtt_holder_) {
+    // The previous maximum shrank; only a rescan knows the new holder.
+    srtt_max_valid_ = false;
+  }
+}
+
+double TroubledCensus::plain_srtt_max() const {
+  if (!srtt_max_valid_ || srtt_max_membership_ != membership_version_) {
+    srtt_max_cache_ = 0.0;
+    srtt_holder_ = -1;
+    if (sampling_.mode == CensusMode::kSampled) {
+      for (const int i : reservoir_.sample()) {
+        const double v = core_.srtt_of(i);
+        if (v >= srtt_max_cache_) {
+          srtt_max_cache_ = v;
+          srtt_holder_ = i;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < core_.size(); ++i) {
+        if (core_.excluded(static_cast<int>(i))) continue;
+        if (core_.srtt_of(static_cast<int>(i)) >= srtt_max_cache_) {
+          srtt_max_cache_ = core_.srtt_of(static_cast<int>(i));
+          srtt_holder_ = static_cast<int>(i);
+        }
+      }
+    }
+    srtt_max_valid_ = true;
+    srtt_max_membership_ = membership_version_;
+  }
+  return srtt_max_cache_;
+}
+
+double TroubledCensus::robust_srtt_max() const {
+  if (robust_valid_ && robust_srtt_version_ == srtt_version_ &&
+      robust_membership_ == membership_version_)
+    return robust_cache_;
+  srtt_scratch_.clear();
+  if (sampling_.mode == CensusMode::kSampled) {
+    for (const int i : reservoir_.sample())
+      srtt_scratch_.push_back(core_.srtt_of(i));
+  } else {
+    for (std::size_t i = 0; i < core_.size(); ++i) {
+      if (core_.excluded(static_cast<int>(i))) continue;
+      srtt_scratch_.push_back(core_.srtt_of(static_cast<int>(i)));
+    }
+  }
+  robust_cache_ = robust_clamped_max(srtt_scratch_, defense_.srtt_clamp_mads);
+  robust_valid_ = true;
+  robust_srtt_version_ = srtt_version_;
+  robust_membership_ = membership_version_;
+  return robust_cache_;
+}
+
+double TroubledCensus::srtt_max() const {
+  // Hardened path: an srtt-inflating receiver drives pthresh toward 1 for
+  // everyone else (their srtt_i/srtt_max ratio collapses), so reported
+  // srtts are median/MAD-clamped before the max is taken.
+  if (defense_.enabled && defense_.srtt_clamp_mads > 0.0)
+    return robust_srtt_max();
+  return plain_srtt_max();
+}
+
+std::size_t TroubledCensus::state_bytes() const {
+  return sizeof(*this) + core_.state_bytes() + reservoir_.state_bytes() +
+         flagged_.capacity() * sizeof(int) +
+         interval_scratch_.capacity() * sizeof(double) +
+         srtt_scratch_.capacity() * sizeof(double);
 }
 
 }  // namespace rlacast::cc

@@ -42,7 +42,11 @@ Link* Network::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
 }
 
 Network::Duplex Network::connect(NodeId a, NodeId b, const LinkConfig& cfg) {
-  return Duplex{add_link(a, b, cfg), add_link(b, a, cfg)};
+  LinkConfig rev = cfg.reverse_bandwidth_bps > 0.0
+                       ? cfg.with_bandwidth(cfg.reverse_bandwidth_bps)
+                       : cfg;
+  if (cfg.reverse_buffer_pkts > 0) rev.buffer_pkts = cfg.reverse_buffer_pkts;
+  return Duplex{add_link(a, b, cfg), add_link(b, a, rev)};
 }
 
 void Network::build_routes() {

@@ -33,6 +33,18 @@ struct LinkConfig {
   /// experiments use byte mode; per-packet mode is kept for unit tests.
   std::int32_t queue_slot_bytes = kDataPacketBytes;
   RedParams red{};  // min/max thresholds etc.; capacity overridden by buffer_pkts
+  /// Reverse-direction capacity override for connect(): 0 (the default)
+  /// keeps the duplex symmetric. Aggregated topologies need this — a
+  /// "group leaf" standing in for g real receivers carries the multicast
+  /// data ONCE on the forward direction but the sum of g per-leaf ACK
+  /// streams on the reverse, so the faithful collapse of that subtree is an
+  /// asymmetric hop (forward = bottleneck capacity, reverse = g ACK paths).
+  double reverse_bandwidth_bps = 0.0;
+  /// Reverse-direction buffer override for connect(): 0 (the default)
+  /// keeps the forward buffer_pkts. The collapsed-ACK-path hops above need
+  /// room for a whole group's synchronized ACK answer, not the forward
+  /// direction's bottleneck-sized buffer.
+  std::size_t reverse_buffer_pkts = 0;
 
   LinkConfig with_bandwidth(double bps) const {
     LinkConfig c = *this;
@@ -86,6 +98,10 @@ class Network {
 
   /// The unidirectional link from a to b, or nullptr.
   Link* link_between(NodeId a, NodeId b) const;
+
+  /// All unidirectional links in creation order (drop accounting and other
+  /// whole-topology diagnostics).
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
   sim::Simulator& simulator() { return sim_; }
 

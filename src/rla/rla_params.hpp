@@ -11,6 +11,38 @@
 
 namespace rlacast::rla {
 
+/// Frontier-progress watchdog (liveness defense).  The census rate defense
+/// catches receivers that signal too often; it cannot catch a coalition
+/// that simply stops acknowledging past some sequence number while staying
+/// otherwise chatty — the reach-all frontier freezes, the window drains to
+/// its trailing edge, and the session stalls even though a *majority* of
+/// receivers keeps ACKing (the silent-receiver drop never fires because the
+/// pinners are not silent).  The watchdog detects that shape — frontier
+/// pinned for several RTOs while a healthy ACK stream flows and the
+/// blocking packet has already been repaired — and force-quarantines the
+/// pinning receivers through the census strike machinery, unless every
+/// active receiver is pinned (then the loss is genuine and the timeout path
+/// owns it).
+struct FrontierWatchdogParams {
+  bool enabled = false;
+  /// Stall threshold in units of the current max receiver RTO.
+  double stall_rtos = 3.0;
+  /// Absolute floor of the stall threshold, seconds.
+  sim::SimTime min_stall = 1.0;
+  /// ACKs that must arrive during the stall before receivers are blamed —
+  /// a frozen frontier with no ACK flow at all is loss, not pinning.
+  std::uint64_t min_acks = 32;
+  /// Cum-withholding bound.  A receiver can freeze its cumulative ACK while
+  /// SACKing everything above it: reach-all then advances through
+  /// first_missing (no frontier stall for the watchdog to see), but
+  /// advance() never prunes its scoreboard, whose per-packet state — and
+  /// the cost of every SACK walk across it — grows without bound.  An
+  /// honest receiver's SACK lead over its own cumulative point is bounded
+  /// by the congestion window; one whose lead exceeds this many packets is
+  /// withholding and is quarantined like a frontier pinner.  0 disables.
+  std::int64_t max_sack_lead = 2048;
+};
+
 struct RlaParams {
   double initial_cwnd = 1.0;
   double initial_ssthresh = 64.0;
@@ -122,6 +154,14 @@ struct RlaParams {
   /// machine of cc::TroubledCensus. Disabled by default — the paper's
   /// honest-receiver model — and byte-identical to it when disabled.
   cc::CensusDefenseParams defense{};
+
+  /// Census mode and reservoir size (sublinear aggregates at large receiver
+  /// counts). The kExact default is byte-identical to the historical census.
+  cc::CensusSampleParams census{};
+
+  /// Liveness defense against frontier-pinning coalitions; see
+  /// FrontierWatchdogParams. Disabled by default.
+  FrontierWatchdogParams frontier_watchdog{};
 };
 
 }  // namespace rlacast::rla

@@ -1,6 +1,7 @@
 #include "rla/rla_sender.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <string>
 
@@ -20,6 +21,8 @@ RlaSender::RlaSender(net::Network& network, net::NodeId node, net::PortId port,
              params.max_send_overhead),
       listen_rng_(sim_.rng_stream("rla-listen-" + std::to_string(flow))),
       rto_(sim_, [this] { on_timeout(); }),
+      table_(params.rtt,
+             /*slim=*/params.census.mode == cc::CensusMode::kSampled),
       census_(params.eta, params.signal_interval_gain),
       policy_(cc::RlaPolicyParams{.forced_cut_factor = params.forced_cut_factor,
                                   .rtt_exponent = params.rtt_exponent,
@@ -32,6 +35,7 @@ RlaSender::RlaSender(net::Network& network, net::NodeId node, net::PortId port,
                             .fairness_weight = params.fairness_weight}),
       awnd_(params.initial_cwnd) {
   census_.set_defense(params_.defense);
+  census_.configure_sampling(params_.census);
   network_.attach(node_, port_, this);
   meas_.note_cwnd(0.0, win_.cwnd());
   if (replay::RunObserver* obs = sim_.observer()) {
@@ -47,7 +51,9 @@ RlaSender::~RlaSender() {
     obs->detach(this);
     obs->detach(&win_);
     obs->detach(&census_);
-    for (const auto& r : rcvrs_) obs->detach(&r->peer.rtt);
+    if (!table_.slim())
+      for (std::size_t i = 0; i < table_.size(); ++i)
+        obs->detach(&table_.rtt(static_cast<int>(i)));
   }
 }
 
@@ -61,39 +67,42 @@ replay::Snapshot RlaSender::snapshot_state() const {
   s.put("mcast_rexmits", mcast_rexmits_);
   s.put("ucast_rexmits", ucast_rexmits_);
   s.put("silent_drops", silent_drops_);
-  s.put("receivers", rcvrs_.size());
+  s.put("receivers", table_.size());
   s.put("listen_rng_draws", listen_rng_.draw_count());
+  s.put("materialized", table_.materialized_count());
+  s.put("watchdog_quarantines", watchdog_quarantines_);
   return s;
 }
 
 int RlaSender::add_receiver(net::NodeId node, net::PortId port) {
-  rcvrs_.push_back(std::make_unique<ReceiverState>(params_.rtt));
-  rcvrs_.back()->node = node;
-  rcvrs_.back()->port = port;
-  const int idx = census_.add_receiver();
-  if (replay::RunObserver* obs = sim_.observer())
-    obs->attach("rla-" + std::to_string(flow_) + "/rtt-" +
-                    std::to_string(idx),
-                &rcvrs_.back()->peer.rtt);
   // Late join: the newcomer's sequence space starts at the send frontier —
   // it is not owed data transmitted before it existed, and it must not drag
   // max_reach_all below the already-acknowledged prefix. (Beyond 64
   // receivers, per-packet RTT coverage masks saturate and mark_covered
   // skips the extra indices; everything else scales.)
-  rcvrs_.back()->peer.sb.reset(next_seq_);
-  rcvrs_.back()->last_ack_at = sim_.now();  // liveness clock starts at join
+  const int idx = table_.add(node, port, next_seq_, sim_.now());
+  const int census_idx = census_.add_receiver();
+  (void)census_idx;
+  assert(idx == census_idx && "table and census indices must stay aligned");
+  // Slim table: reservoir members get their own estimator up front so the
+  // census reads their real srtt, not the shared fallback's.
+  if (table_.slim() && census_.sampled_tracked(idx)) table_.ensure_tracked(idx);
+  // Seed the census srtt mirror with the estimator's pre-sample value so
+  // srtt_max over never-heard-from receivers matches the historical scan.
+  census_.note_srtt(idx, table_.rtt(idx).srtt());
+  // Per-receiver estimator snapshots only exist in the dense layout; the
+  // sampled sender would otherwise attach N observers it refuses to pay
+  // memory for (the skip is mode-keyed, so record and replay agree).
+  if (!table_.slim())
+    if (replay::RunObserver* obs = sim_.observer())
+      obs->attach(
+          "rla-" + std::to_string(flow_) + "/rtt-" + std::to_string(idx),
+          &table_.rtt(idx));
   return idx;
 }
 
-int RlaSender::active_receivers() const {
-  int n = 0;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i)
-    if (!census_.excluded(static_cast<int>(i))) ++n;
-  return n;
-}
-
 void RlaSender::remove_receiver(int idx) {
-  if (idx < 0 || static_cast<std::size_t>(idx) >= rcvrs_.size()) return;
+  if (idx < 0 || static_cast<std::size_t>(idx) >= table_.size()) return;
   if (census_.excluded(idx)) return;
   census_.exclude(idx);
   census_.recompute(sim_.now());
@@ -106,69 +115,94 @@ void RlaSender::remove_receiver(int idx) {
 void RlaSender::start_at(sim::SimTime when) {
   sim_.at(when, [this] {
     started_ = true;
+    last_frontier_progress_ = sim_.now();
     meas_.note_cwnd(sim_.now(), win_.cwnd());
     send_new_data(params_.max_burst);
   });
 }
 
 net::SeqNum RlaSender::min_last_ack() const {
-  net::SeqNum m = next_seq_;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-    if (census_.excluded(static_cast<int>(i))) continue;
-    m = std::min(m, rcvrs_[i]->peer.sb.una());
-  }
-  return m;
-}
-
-double RlaSender::max_srtt() const {
-  // Hardened path: an srtt-inflating receiver drives pthresh toward 1 for
-  // everyone else (their srtt_i/srtt_max ratio collapses), so reported
-  // srtts are median/MAD-clamped before the max is taken.
-  if (params_.defense.enabled && params_.defense.srtt_clamp_mads > 0.0) {
-    srtt_scratch_.clear();
-    for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-      if (census_.excluded(static_cast<int>(i))) continue;
-      srtt_scratch_.push_back(rcvrs_[i]->peer.rtt.srtt());
-    }
-    return cc::robust_clamped_max(srtt_scratch_,
-                                  params_.defense.srtt_clamp_mads);
-  }
-  double m = 0.0;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-    if (census_.excluded(static_cast<int>(i))) continue;
-    m = std::max(m, rcvrs_[i]->peer.rtt.srtt());
-  }
-  return m;
+  return table_.min_una(census_, next_seq_);
 }
 
 double RlaSender::pthresh_for(int rcvr) const {
-  return policy_.pthresh(srtt_of(rcvr), max_srtt());
+  return policy_.pthresh(srtt_of(rcvr), census_.srtt_max());
+}
+
+std::size_t RlaSender::state_bytes() const {
+  return sizeof(*this) + table_.state_bytes() + census_.state_bytes() +
+         send_info_.size() *
+             (sizeof(net::SeqNum) + sizeof(SendInfo) + 4 * sizeof(void*));
+}
+
+std::size_t RlaSender::baseline_state_bytes() const {
+  // The pre-table layout: one heap ReceiverState per receiver — scoreboard,
+  // RTT estimator, signal grouper, endpoint/liveness fields — with a map
+  // node per outstanding packet in EVERY receiver's scoreboard (a healthy
+  // receiver tracked the full window too).
+  const std::size_t per_node =
+      sizeof(net::SeqNum) + 3 * sizeof(bool) + 4 * sizeof(void*);
+  std::size_t b = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    b += sizeof(void*);  // rcvrs_ vector slot
+    b += sizeof(cc::Scoreboard) + sizeof(cc::RttEstimator) +
+         sizeof(cc::SignalGrouper) + sizeof(net::NodeId) +
+         sizeof(net::PortId) + sizeof(sim::SimTime);
+    b += static_cast<std::size_t>(
+             std::max<net::SeqNum>(0, table_.high(idx) - table_.una(idx))) *
+         per_node;
+  }
+  b += send_info_.size() *
+       (sizeof(net::SeqNum) + sizeof(SendInfo) + 4 * sizeof(void*));
+  return b;
+}
+
+void RlaSender::rejoin_receivers(const std::vector<int>& rejoined) {
+  // Served quarantines rejoin as late joiners: scoreboard state thawed at
+  // the send frontier, liveness clock restarted.
+  for (const int r : rejoined) {
+    table_.reset(r, next_seq_);
+    table_.note_ack(r, sim_.now());
+  }
 }
 
 void RlaSender::on_receive(const net::Packet& p) {
   if (p.type != net::PacketType::kAck) return;
   const int idx = p.receiver_id;
-  if (idx < 0 || static_cast<std::size_t>(idx) >= rcvrs_.size()) return;
-  // Quarantine/probation clock: served quarantines rejoin as late joiners
-  // (scoreboard thawed at the send frontier, liveness clock restarted).
-  // Polled before the excluded() gate so the quarantined member's own ACKs
-  // can drive its release.
-  if (params_.defense.enabled) {
-    for (const int r : census_.advance_states(sim_.now())) {
-      rcvrs_[static_cast<std::size_t>(r)]->peer.sb.reset(next_seq_);
-      rcvrs_[static_cast<std::size_t>(r)]->last_ack_at = sim_.now();
-    }
-  }
+  if (idx < 0 || static_cast<std::size_t>(idx) >= table_.size()) return;
+  // Quarantine/probation clock. Polled before the excluded() gate so the
+  // quarantined member's own ACKs can drive its release.
+  if (params_.defense.enabled || params_.frontier_watchdog.enabled)
+    rejoin_receivers(census_.advance_states(sim_.now()));
   // A stale ACK from a departed/dropped receiver (in flight at leave time,
   // or a crashed receiver coming back) must not touch frozen scoreboard or
   // census state.
   if (census_.excluded(idx)) return;
   ++acks_received_;
-  rcvrs_[static_cast<std::size_t>(idx)]->last_ack_at = sim_.now();
-  on_ack(p, *rcvrs_[static_cast<std::size_t>(idx)], idx);
+  table_.note_ack(idx, sim_.now());
+  on_ack(p, idx);
 }
 
-void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
+cc::Scoreboard& RlaSender::ensure_board(int idx) {
+  if (table_.materialized(idx)) return table_.board(idx);
+  cc::Scoreboard& sb = table_.materialize(idx);
+  // Replay the repairs that were multicast to everybody while this receiver
+  // was compact; per-receiver (unicast) repairs always materialized the
+  // target at repair time, so the global flags are the complete set.
+  for (auto it = send_info_.lower_bound(sb.una()); it != send_info_.end();
+       ++it)
+    if (it->second.rexmitted_for_all) sb.on_retransmit(it->first);
+  return sb;
+}
+
+void RlaSender::sb_on_retransmit(int idx, net::SeqNum seq) {
+  if (!table_.materialized(idx) && seq < table_.una(idx))
+    return;  // below the cumulative point: the historical board forgot it
+  ensure_board(idx).on_retransmit(seq);
+}
+
+void RlaSender::on_ack(const net::Packet& ack, int idx) {
   if (census_.excluded(idx)) return;
 
   // Per-receiver RTT estimate (Karn: skip samples off retransmitted seqs —
@@ -177,36 +211,67 @@ void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
   if (ack.seq != net::kNoSeq && ack.ts_echo > 0.0) {
     const auto it = send_info_.find(ack.seq);
     const bool clean = it == send_info_.end() || !it->second.ever_rexmitted;
-    if (clean && !r.peer.sb.was_retransmitted(ack.seq))
-      r.peer.rtt.add_sample(sim_.now() - ack.ts_echo);
+    if (clean && !table_.was_retransmitted(idx, ack.seq)) {
+      // A reservoir rebuild can admit a member after its add; promote it on
+      // its next RTT sample so the census mirrors its own estimate.
+      if (table_.slim() && !table_.tracked(idx) && census_.sampled_tracked(idx))
+        table_.ensure_tracked(idx);
+      table_.rtt_add_sample(idx, sim_.now() - ack.ts_echo);
+      census_.note_srtt(idx, table_.rtt(idx).srtt());
+    }
   }
 
-  if (r.peer.sb.advance(ack.ack) > 0) r.peer.rtt.reset_backoff();
-  r.peer.sb.apply_sack(ack.sack.data(), ack.n_sack);
+  if (table_.advance(idx, ack.ack) > 0) table_.rtt_reset_backoff(idx);
+  if (table_.materialized(idx)) {
+    table_.board(idx).apply_sack(ack.sack.data(), ack.n_sack);
+  } else if (ack.n_sack > 0 &&
+             table_.sack_effective(idx, ack.sack.data(), ack.n_sack)) {
+    // First evidence this receiver diverged from the healthy prefix: give
+    // it a real scoreboard.
+    ensure_board(idx).apply_sack(ack.sack.data(), ack.n_sack);
+  }
+  // Cum-withholding guard (see FrontierWatchdogParams::max_sack_lead): a
+  // receiver SACKing far ahead of its frozen cumulative point starves
+  // advance() of pruning while evading the frontier-stall check.  Its board
+  // is the largest sender-side structure an adversary can grow, so the
+  // bound is enforced on the hot ACK path, where the lead is O(1) to read.
+  {
+    const FrontierWatchdogParams& wd = params_.frontier_watchdog;
+    if (wd.enabled && wd.max_sack_lead > 0 && table_.materialized(idx) &&
+        table_.first_missing(idx) - table_.una(idx) > wd.max_sack_lead) {
+      census_.force_quarantine(idx, sim_.now());
+      ++watchdog_quarantines_;
+      census_.recompute(sim_.now());
+      advance_reach_all();
+      send_new_data(params_.max_burst);
+      return;
+    }
+  }
   mark_covered(ack, idx);
-  const int new_losses = r.peer.sb.detect_losses(params_.dupthresh);
+  const int new_losses = table_.detect_losses(idx, params_.dupthresh);
 
   // Rule 2: a new congestion period only starts beyond 2*srtt_i of the last
   // one; losses inside the window are grouped into the same signal. An ECN
   // echo is a congestion indication of equal rank — it enters the same
   // grouping, so a mark plus losses in one buffer period stay one signal.
   if (new_losses > 0 || (params_.ecn && ack.ece)) {
-    const double srtt = r.peer.rtt.srtt();
-    if (r.grouper.try_open_period(sim_.now(), params_.grouping_rtts * srtt))
-      handle_congestion_signal(r, idx);
+    const double srtt = table_.rtt(idx).srtt();
+    if (table_.grouper(idx).try_open_period(sim_.now(),
+                                            params_.grouping_rtts * srtt))
+      handle_congestion_signal(idx);
   }
 
   // A lost *retransmission* would otherwise only be recoverable by the full
   // timeout: re-arm the head-of-line hole for repair once the previous
   // repair has clearly failed (no ACK within this receiver's RTO of it).
   if (!census_.excluded(idx)) {
-    const net::SeqNum hol = first_missing(r);
-    if (hol < r.peer.sb.high() && r.peer.sb.is_lost(hol) &&
-        r.peer.sb.was_retransmitted(hol)) {
+    const net::SeqNum hol = table_.first_missing(idx);
+    if (hol < table_.high(idx) && table_.is_lost(idx, hol) &&
+        table_.was_retransmitted(idx, hol)) {
       const auto it = send_info_.find(hol);
       if (it != send_info_.end() &&
-          sim_.now() - it->second.last_rexmit > r.peer.rtt.rto())
-        r.peer.sb.clear_retransmitted(hol);
+          sim_.now() - it->second.last_rexmit > table_.rtt(idx).rto())
+        table_.board(idx).clear_retransmitted(hol);
     }
   }
 
@@ -216,7 +281,7 @@ void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
   // nobody's problem anymore.)
   net::SeqNum s;
   while (!census_.excluded(idx) &&
-         (s = r.peer.sb.next_to_retransmit()) != net::kNoSeq)
+         (s = table_.next_to_retransmit(idx)) != net::kNoSeq)
     maybe_retransmit(s, idx, ack.urgent_rexmit_request);
 
   // New data is clocked by reach-all advances (inside advance_reach_all),
@@ -227,11 +292,15 @@ void RlaSender::on_ack(const net::Packet& ack, ReceiverState& r, int idx) {
   // the equal-congestion-frequency argument to hold). A SACK-only ACK that
   // shrank some pipe still triggers a conservation send below, or recovery
   // could stall the session.
+  ++acks_since_progress_;
   advance_reach_all();
-  if (r.peer.sb.lost_count() > 0) send_new_data(params_.max_burst);
+  if (table_.lost_count(idx) > 0) send_new_data(params_.max_burst);
+  check_frontier_watchdog();
+  // Recovery over: hand the board back to the pool and go compact again.
+  table_.reclaim_if_clean(idx);
 }
 
-void RlaSender::handle_congestion_signal(ReceiverState& r, int idx) {
+void RlaSender::handle_congestion_signal(int idx) {
   meas_.note_congestion_signal();
   census_.on_signal(idx, sim_.now());
   census_.recompute(sim_.now());
@@ -242,8 +311,8 @@ void RlaSender::handle_congestion_signal(ReceiverState& r, int idx) {
   cc::SignalContext ctx;
   ctx.now = sim_.now();
   ctx.receiver = idx;
-  ctx.srtt = r.peer.rtt.srtt();
-  ctx.srtt_max = max_srtt();
+  ctx.srtt = table_.rtt(idx).srtt();
+  ctx.srtt_max = census_.srtt_max();
   ctx.awnd = awnd_;
   ctx.last_cut = last_window_cut_;
   const cc::CutAction action = policy_.on_signal(ctx);
@@ -257,7 +326,7 @@ void RlaSender::handle_congestion_signal(ReceiverState& r, int idx) {
 
 std::uint64_t RlaSender::active_mask() const {
   std::uint64_t m = 0;
-  for (std::size_t i = 0; i < rcvrs_.size() && i < 64; ++i)
+  for (std::size_t i = 0; i < table_.size() && i < 64; ++i)
     if (!census_.excluded(static_cast<int>(i))) m |= 1ULL << i;
   return m;
 }
@@ -291,18 +360,8 @@ void RlaSender::mark_covered(const net::Packet& ack, int idx) {
   }
 }
 
-net::SeqNum RlaSender::first_missing(const ReceiverState& r) const {
-  net::SeqNum s = r.peer.sb.una();
-  while (s < r.peer.sb.high() && r.peer.sb.is_sacked(s)) ++s;
-  return s;
-}
-
 void RlaSender::advance_reach_all() {
-  net::SeqNum reach = next_seq_;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-    if (census_.excluded(static_cast<int>(i))) continue;
-    reach = std::min(reach, first_missing(*rcvrs_[i]));
-  }
+  const net::SeqNum reach = table_.min_first_missing(census_, next_seq_);
   if (reach <= max_reach_all_) return;
 
   const std::int64_t m = reach - max_reach_all_;
@@ -317,7 +376,48 @@ void RlaSender::advance_reach_all() {
   // simply discarded.
   send_info_.erase(send_info_.begin(), send_info_.lower_bound(reach));
   max_reach_all_ = reach;
+  last_frontier_progress_ = sim_.now();
+  acks_since_progress_ = 0;
   restart_timeout_timer();
+  send_new_data(params_.max_burst);
+}
+
+void RlaSender::check_frontier_watchdog() {
+  const FrontierWatchdogParams& wd = params_.frontier_watchdog;
+  if (!wd.enabled || !started_) return;
+  if (next_seq_ <= max_reach_all_) return;  // frontier caught up: no stall
+  if (acks_since_progress_ < wd.min_acks) return;
+  const sim::SimTime stall = sim_.now() - last_frontier_progress_;
+  const sim::SimTime bound = std::max(
+      wd.stall_rtos * std::max(table_.max_rto(census_), params_.rtt.min_rto),
+      wd.min_stall);
+  if (stall < bound) return;
+  // The frontier is pinned while ACKs keep flowing.  Blame receivers only
+  // once the blocking packet has actually been repaired at least once — an
+  // unrepaired hole is the retransmit path's business, not a liveness hole.
+  const auto it = send_info_.find(max_reach_all_);
+  if (it == send_info_.end() || !it->second.ever_rexmitted) return;
+
+  std::vector<int> pinners;
+  int active = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    if (census_.excluded(idx)) continue;
+    ++active;
+    if (table_.first_missing(idx) <= max_reach_all_) pinners.push_back(idx);
+  }
+  // Everyone is pinned: a genuine shared loss, owned by the timeout path.
+  if (pinners.empty() || static_cast<int>(pinners.size()) >= active) return;
+
+  for (const int idx : pinners) {
+    census_.force_quarantine(idx, sim_.now());
+    ++watchdog_quarantines_;
+  }
+  census_.recompute(sim_.now());
+  last_frontier_progress_ = sim_.now();
+  acks_since_progress_ = 0;
+  // The survivors define a new frontier; resume into the opened window.
+  advance_reach_all();
   send_new_data(params_.max_burst);
 }
 
@@ -325,57 +425,76 @@ void RlaSender::maybe_retransmit(net::SeqNum seq, int requester_idx,
                                  bool urgent) {
   auto& info = send_info_[seq];
   // Rate-limit repairs of the same packet: one per max-srtt unless urgent.
-  const double guard = std::max(max_srtt(), 1e-3);
+  const double guard = std::max(census_.srtt_max(), 1e-3);
   if (!urgent && sim_.now() - info.last_rexmit < guard) {
     // Mark per-receiver so next_to_retransmit() makes progress; the packet
     // is already on its way (or will be re-repaired after the guard).
-    rcvrs_[static_cast<std::size_t>(requester_idx)]->peer.sb.on_retransmit(
-        seq);
+    sb_on_retransmit(requester_idx, seq);
     return;
   }
 
-  // Count receivers currently missing the packet.
+  // The paper's simulations multicast every repair (rexmit_thresh = 0): the
+  // missing-receiver list is then only an emptiness test, answered by the
+  // compact-min cache without touching the healthy membership.
+  if (params_.rexmit_thresh == 0 && !urgent) {
+    if (!table_.any_missing(census_, seq)) {
+      // Nobody (still in the session) is missing it; mark the requester's
+      // scoreboard so its retransmit scan makes progress.
+      sb_on_retransmit(requester_idx, seq);
+      return;
+    }
+    info.last_rexmit = sim_.now();
+    info.ever_rexmitted = true;
+    info.rexmitted_for_all = true;
+    // The repair deserves a full RTO before the stall is declared a timeout.
+    restart_timeout_timer();
+    // Multicast repair. Compact receivers inherit the mark lazily via
+    // rexmitted_for_all; excluded receivers' boards stay frozen.
+    for (const int i : table_.materialized_ids())
+      if (!census_.excluded(i)) table_.board(i).on_retransmit(seq);
+    send_data_packet(seq, /*rexmit=*/true, net::kNoNode, 0);
+    ++mcast_rexmits_;
+    return;
+  }
+
+  // Count receivers currently missing the packet (ascending order: the
+  // unicast branch sends a repair per requester in index order).
   std::vector<int> missing;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-    if (census_.excluded(static_cast<int>(i))) continue;
-    const auto& sb = rcvrs_[i]->peer.sb;
-    if (seq >= sb.una() && seq < sb.high() && !sb.is_sacked(seq))
-      missing.push_back(static_cast<int>(i));
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    if (census_.excluded(idx)) continue;
+    if (seq >= table_.una(idx) && seq < table_.high(idx) &&
+        !table_.is_sacked(idx, seq))
+      missing.push_back(idx);
   }
   if (missing.empty()) {
-    // Nobody (still in the session) is missing it; mark the requester's
-    // scoreboard so its retransmit scan makes progress.
-    rcvrs_[static_cast<std::size_t>(requester_idx)]->peer.sb.on_retransmit(
-        seq);
+    sb_on_retransmit(requester_idx, seq);
     return;
   }
 
   info.last_rexmit = sim_.now();
   info.ever_rexmitted = true;
-  // The repair deserves a full RTO before the stall is declared a timeout.
   restart_timeout_timer();
 
   if (static_cast<int>(missing.size()) > params_.rexmit_thresh && !urgent) {
-    // Multicast repair. Excluded receivers' scoreboards stay frozen.
-    for (std::size_t i = 0; i < rcvrs_.size(); ++i)
-      if (!census_.excluded(static_cast<int>(i)))
-        rcvrs_[i]->peer.sb.on_retransmit(seq);
+    info.rexmitted_for_all = true;
+    for (const int i : table_.materialized_ids())
+      if (!census_.excluded(i)) table_.board(i).on_retransmit(seq);
     send_data_packet(seq, /*rexmit=*/true, net::kNoNode, 0);
     ++mcast_rexmits_;
   } else {
     // Unicast repair to each requester (or just the urgent one).
-    for (int i : missing) {
-      auto& r = *rcvrs_[static_cast<std::size_t>(i)];
-      r.peer.sb.on_retransmit(seq);
-      send_data_packet(seq, /*rexmit=*/true, r.node, r.port);
+    for (const int i : missing) {
+      sb_on_retransmit(i, seq);
+      send_data_packet(seq, /*rexmit=*/true, table_.node(i), table_.port(i));
       ++ucast_rexmits_;
     }
   }
 }
 
 void RlaSender::send_new_data(int budget) {
-  if (!started_ || rcvrs_.empty()) return;
-  if (active_receivers() == 0) return;  // nobody left to send to
+  if (!started_ || table_.size() == 0) return;
+  if (census_.active_count() == 0) return;  // nobody left to send to
   // Conservation of packets on the most loaded branch: new data may go out
   // while every receiver's pipe (outstanding, not SACKed, not known-lost-
   // unrepaired) has room under cwnd. This is the fast-recovery behaviour
@@ -383,10 +502,7 @@ void RlaSender::send_new_data(int budget) {
   // leave the sender idle when later packets are already SACKed.
   // Rule 5's buffer bound still applies: never beyond min_last_ack + B.
   const net::SeqNum by_buffer = min_last_ack() + params_.receiver_buffer;
-  std::int64_t max_pipe = 0;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i)
-    if (!census_.excluded(static_cast<int>(i)))
-      max_pipe = std::max(max_pipe, rcvrs_[i]->peer.sb.pipe());
+  std::int64_t max_pipe = table_.max_pipe(census_);
   const auto cwnd = static_cast<std::int64_t>(win_.cwnd());
   // Quantized release: wait until a burst's worth of slots is free, then
   // send back-to-back. The quantum is capped at half the window so small
@@ -426,11 +542,10 @@ void RlaSender::send_data_packet(net::SeqNum seq, bool rexmit,
   }
 
   if (!rexmit) {
-    // Excluded receivers' scoreboards are frozen — they must not keep
-    // accumulating outstanding-packet state for the rest of the session.
-    for (std::size_t i = 0; i < rcvrs_.size(); ++i)
-      if (!census_.excluded(static_cast<int>(i)))
-        rcvrs_[i]->peer.sb.on_send(seq);
+    // Compact receivers track the frontier implicitly; materialized boards
+    // of excluded receivers stay frozen (they must not keep accumulating
+    // outstanding-packet state for the rest of the session).
+    table_.on_send(seq, census_);
     send_info_[seq] = SendInfo{sim_.now(), false, -1e18};
   }
 
@@ -443,12 +558,7 @@ void RlaSender::restart_timeout_timer() {
     rto_.cancel();
     return;
   }
-  double rto = 0.0;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
-    if (census_.excluded(static_cast<int>(i))) continue;
-    rto = std::max(rto, rcvrs_[i]->peer.rtt.rto());
-  }
-  rto_.restart(std::max(rto, params_.rtt.min_rto));
+  rto_.restart(std::max(table_.max_rto(census_), params_.rtt.min_rto));
 }
 
 void RlaSender::on_timeout() {
@@ -460,7 +570,7 @@ void RlaSender::on_timeout() {
   // loss and the survivors need no cut.
   drop_silent_receivers();
   if (next_seq_ <= max_reach_all_) return;
-  if (active_receivers() == 0) {
+  if (census_.active_count() == 0) {
     // Everyone is gone: there is nobody to repair for. Stop the timer
     // instead of multicasting retransmissions into the void forever.
     rto_.cancel();
@@ -480,10 +590,7 @@ void RlaSender::on_timeout() {
   const cc::CutAction action = policy_.on_timeout(repeated);
   cc::apply_cut_action(win_, policy_, action);
   meas_.note_cwnd(sim_.now(), win_.cwnd());
-  if (action == cc::CutAction::kCollapse)
-    for (std::size_t i = 0; i < rcvrs_.size(); ++i)
-      if (!census_.excluded(static_cast<int>(i)))
-        rcvrs_[i]->peer.rtt.back_off();
+  if (action == cc::CutAction::kCollapse) table_.rtt_back_off_all(census_);
   last_window_cut_ = sim_.now();
   meas_.note_window_cut();
 
@@ -491,9 +598,9 @@ void RlaSender::on_timeout() {
   auto& info = send_info_[blocking];
   info.last_rexmit = sim_.now();
   info.ever_rexmitted = true;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i)
-    if (!census_.excluded(static_cast<int>(i)))
-      rcvrs_[i]->peer.sb.on_retransmit(blocking);
+  info.rexmitted_for_all = true;
+  for (const int i : table_.materialized_ids())
+    if (!census_.excluded(i)) table_.board(i).on_retransmit(blocking);
   send_data_packet(blocking, /*rexmit=*/true, net::kNoNode, 0);
   ++mcast_rexmits_;
 
@@ -503,10 +610,10 @@ void RlaSender::on_timeout() {
 void RlaSender::drop_silent_receivers() {
   if (params_.silent_drop_after <= 0.0) return;
   bool dropped = false;
-  for (std::size_t i = 0; i < rcvrs_.size(); ++i) {
+  for (std::size_t i = 0; i < table_.size(); ++i) {
     const int idx = static_cast<int>(i);
     if (census_.excluded(idx)) continue;
-    if (sim_.now() - rcvrs_[i]->last_ack_at > params_.silent_drop_after) {
+    if (sim_.now() - table_.last_ack_at(idx) > params_.silent_drop_after) {
       census_.exclude(idx);
       ++silent_drops_;
       dropped = true;

@@ -23,10 +23,13 @@
 // §5.3 for heterogeneous round-trip times.
 //
 // The window arithmetic lives in cc::Window, the §3.3 cut rules in
-// cc::RlaPolicy, the per-receiver {scoreboard, RTT estimator} bundle in
-// cc::PeerState (the same bundle the TCP sender holds once), and the signal
-// grouping in cc::SignalGrouper — so "TCP-like window dynamics" is enforced
-// by construction, not by parallel implementations.
+// cc::RlaPolicy, the signal grouping in cc::SignalGrouper, and the
+// per-receiver state in rla::ReceiverTable — flat parallel arrays plus
+// lazily materialized SACK scoreboards, so a receiver only costs scoreboard
+// memory while it is actually losing packets and the all-healthy ACK path
+// is allocation-free (see DESIGN.md "Memory model").  Aggregates the paper
+// consults per signal (srtt_max, num_trouble_rcvr) come from the census's
+// cached SoA mirrors instead of O(N) rescans.
 //
 // Retransmissions go by multicast when more than rexmit_thresh receivers
 // miss the packet, else by unicast to each requester.
@@ -34,18 +37,16 @@
 
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <vector>
 
-#include "cc/peer_state.hpp"
 #include "cc/rla_policy.hpp"
 #include "cc/rto_manager.hpp"
-#include "cc/signal_grouper.hpp"
 #include "cc/troubled_census.hpp"
 #include "cc/window.hpp"
 #include "net/agent.hpp"
 #include "net/network.hpp"
 #include "replay/snapshot.hpp"
+#include "rla/receiver_table.hpp"
 #include "rla/rla_params.hpp"
 #include "sim/simulator.hpp"
 #include "stats/flow_measurement.hpp"
@@ -58,6 +59,14 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
             net::GroupId group, net::FlowId flow, RlaParams params = {});
 
   ~RlaSender() override;
+
+  /// Capacity hint ahead of a bulk add_receiver() loop: reserves the
+  /// receiver table and census arrays so the dense per-member rows carry no
+  /// push_back growth overshoot (the scale benches report capacity bytes).
+  void reserve_receivers(std::size_t n) {
+    table_.reserve(n);
+    census_.reserve(n);
+  }
 
   /// Registers a receiver endpoint (must match an RlaReceiver's node/port
   /// and id). May be called before start_at() or mid-session (late join):
@@ -86,7 +95,7 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
   int num_trouble_rcvr() const { return census_.num_troubled(); }
   const cc::TroubledCensus& census() const { return census_; }
   double pthresh_for(int rcvr) const;
-  std::size_t receiver_count() const { return rcvrs_.size(); }
+  std::size_t receiver_count() const { return table_.size(); }
   std::uint64_t signals_from(int rcvr) const { return census_.signals(rcvr); }
   std::uint64_t acks_received() const { return acks_received_; }
   std::uint64_t multicast_rexmits() const { return mcast_rexmits_; }
@@ -95,10 +104,22 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
   /// Receivers excluded by the silent-receiver (crash) protection.
   std::uint64_t silent_drops() const { return silent_drops_; }
   /// Receivers still participating (not left, not dropped, not silent).
-  int active_receivers() const;
-  double srtt_of(int rcvr) const {
-    return rcvrs_[static_cast<std::size_t>(rcvr)]->peer.rtt.srtt();
+  int active_receivers() const { return census_.active_count(); }
+  double srtt_of(int rcvr) const { return table_.rtt(rcvr).srtt(); }
+  /// Receivers currently carrying a materialized scoreboard (the rest are
+  /// in the compact all-healthy representation).
+  std::size_t materialized_scoreboards() const {
+    return table_.materialized_count();
   }
+  /// Frontier-watchdog force-quarantines issued so far.
+  std::uint64_t watchdog_quarantines() const { return watchdog_quarantines_; }
+  /// Resident bytes of the sender's per-receiver machinery: receiver table
+  /// (SoA arrays + materialized boards), census, and per-packet send info.
+  std::size_t state_bytes() const;
+  /// What the same session state would cost in the historical one-
+  /// scoreboard-per-receiver layout — the denominator of the scale bench's
+  /// memory-ratio headline.
+  std::size_t baseline_state_bytes() const;
   stats::FlowMeasurement& measurement() { return meas_; }
   const stats::FlowMeasurement& measurement() const { return meas_; }
   const RlaParams& params() const { return params_; }
@@ -110,23 +131,17 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
   replay::Snapshot snapshot_state() const override;
 
  private:
-  struct ReceiverState {
-    net::NodeId node;
-    net::PortId port;
-    /// The same {scoreboard, RTT estimator} bundle TcpSender holds once.
-    cc::PeerState peer;
-    /// §3.3 rule-2 congestion-period grouping (time mode).
-    cc::SignalGrouper grouper;
-    sim::SimTime last_ack_at = 0.0;  // liveness: silent-receiver drop
-
-    explicit ReceiverState(const cc::RttEstimatorParams& rp) : peer(rp) {}
-  };
-
   /// Bookkeeping for every packet at or above max_reach_all.
   struct SendInfo {
     sim::SimTime first_sent = 0.0;
     bool ever_rexmitted = false;
     sim::SimTime last_rexmit = -1e18;
+    /// Set when the packet was retransmitted to EVERYBODY (multicast repair
+    /// or timeout).  Compact receivers don't carry per-packet rexmit flags;
+    /// materialization replays this onto the fresh scoreboard so Karn's
+    /// rule and the repair rate-limit see the same marks the historical
+    /// per-receiver boards held.
+    bool rexmitted_for_all = false;
     /// Bit i set once receiver i has acknowledged the packet (cumulatively
     /// or selectively). The per-packet RLA RTT — time until the LAST
     /// receiver's ACK, the quantity eq. (5) bounds — is sampled the moment
@@ -136,11 +151,11 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
     bool rtt_sampled = false;
   };
 
-  void on_ack(const net::Packet& ack, ReceiverState& r, int idx);
+  void on_ack(const net::Packet& ack, int idx);
   void mark_covered(const net::Packet& ack, int idx);
   void mark_one(net::SeqNum seq, SendInfo& info, std::uint64_t bit);
   std::uint64_t active_mask() const;
-  void handle_congestion_signal(ReceiverState& r, int idx);
+  void handle_congestion_signal(int idx);
   void advance_reach_all();
   void maybe_retransmit(net::SeqNum seq, int requester_idx, bool urgent);
   void send_new_data(int budget);
@@ -150,8 +165,15 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
   void drop_silent_receivers();
   void restart_timeout_timer();
   void maybe_drop_slowest(int idx);
-  double max_srtt() const;
-  net::SeqNum first_missing(const ReceiverState& r) const;
+  void check_frontier_watchdog();
+  void rejoin_receivers(const std::vector<int>& rejoined);
+  /// Receiver idx's scoreboard, materializing it (with the global repair
+  /// flags replayed) if it is still compact.
+  cc::Scoreboard& ensure_board(int idx);
+  /// on_retransmit with the compact semantics of the historical board:
+  /// no-op for seqs below the receiver's cumulative point, materializes
+  /// otherwise.
+  void sb_on_retransmit(int idx, net::SeqNum seq);
 
   net::Network& network_;
   sim::Simulator& sim_;
@@ -165,7 +187,7 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
   sim::Rng listen_rng_;  // the π draws of the random listening decision
   cc::RtoManager rto_;
 
-  std::vector<std::unique_ptr<ReceiverState>> rcvrs_;
+  ReceiverTable table_;
   cc::TroubledCensus census_;
   cc::RlaPolicy policy_;  // borrows census_ and listen_rng_: declare after
   cc::Window win_;
@@ -179,7 +201,10 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
 
   std::map<net::SeqNum, SendInfo> send_info_;
 
-  mutable std::vector<double> srtt_scratch_;  // robust max_srtt workspace
+  // Frontier watchdog (see FrontierWatchdogParams).
+  sim::SimTime last_frontier_progress_ = 0.0;
+  std::uint64_t acks_since_progress_ = 0;
+  std::uint64_t watchdog_quarantines_ = 0;
 
   std::uint64_t acks_received_ = 0;
   std::uint64_t mcast_rexmits_ = 0;

@@ -483,6 +483,7 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
   res.adv_fake_holes = atot.fake_holes;
   res.census_quarantines = first.census().quarantines();
   res.census_strikeouts = first.census().strikeouts();
+  res.rla_watchdog_quarantines = first.watchdog_quarantines();
   if (watchdog) {
     res.watchdog_ok = watchdog->ok();
     res.watchdog_report = watchdog->report();

@@ -161,6 +161,9 @@ struct TreeResult {
   std::uint64_t adv_fake_holes = 0;      // fabricated loss episodes
   std::uint64_t census_quarantines = 0;  // defense quarantine transitions
   std::uint64_t census_strikeouts = 0;   // members excluded by max_strikes
+  /// Frontier-watchdog force-quarantines (session 0) — the liveness
+  /// defense against ACK-pinning coalitions (FrontierWatchdogParams).
+  std::uint64_t rla_watchdog_quarantines = 0;
 
   // --- workload + fairness telemetry ---------------------------------------
   /// One sample per fairness window (empty unless fairness.window > 0).

@@ -1,0 +1,301 @@
+// Sublinear receiver state (ISSUE 9): sampled-census equivalence and the
+// slim (sparse-slot) layouts.
+//
+//   * Property: kSampled with reservoir >= N reproduces kExact decisions
+//     bit-identically — troubled flags, num_trouble_rcvr, srtt_max,
+//     min_interval and the defense state machine, step for step.  The
+//     bottom-k hash sample is the whole active membership at that size, so
+//     any divergence is a bug in the slim storage, not sampling error.
+//   * Property: at reservoir << N the num_trouble_rcvr estimate stays
+//     within a few standard errors of the exact count — relative standard
+//     error ~ sqrt((1-f)/(f*k)) for troubled fraction f (DESIGN.md).
+//   * The slim census layout only allocates wide-stat slots for reservoir
+//     members + signallers, so census memory is O(reservoir), not O(N).
+//   * rla::ReceiverTable slim mode: untracked members share the fallback
+//     RTT estimator, tracked members behave exactly like the dense table,
+//     and table memory is O(tracked), not O(N).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cc/rtt_estimator.hpp"
+#include "cc/troubled_census.hpp"
+#include "rla/receiver_table.hpp"
+
+namespace rlacast {
+namespace {
+
+std::uint64_t lcg(std::uint64_t& x) {
+  x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  return x >> 33;
+}
+
+// Drives two censuses through an identical operation stream and asserts
+// bit-identical observable state after every step.
+void expect_census_lockstep(cc::TroubledCensus& a, cc::TroubledCensus& b,
+                            int n, int steps, bool with_defense) {
+  if (with_defense) {
+    cc::CensusDefenseParams d;
+    d.enabled = true;
+    a.set_defense(d);
+    b.set_defense(d);
+  }
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(a.add_receiver(), b.add_receiver());
+    a.note_srtt(i, 0.1);
+    b.note_srtt(i, 0.1);
+  }
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  double t = 1.0;
+  for (int s = 0; s < steps; ++s) {
+    t += 0.01;
+    const int i = static_cast<int>(lcg(x) % static_cast<std::uint64_t>(n));
+    switch (lcg(x) % 8) {
+      case 0: {
+        const double srtt = 0.05 + 0.001 * static_cast<double>(lcg(x) % 400);
+        a.note_srtt(i, srtt);
+        b.note_srtt(i, srtt);
+        break;
+      }
+      case 1:
+        a.exclude(i);
+        b.exclude(i);
+        break;
+      case 2:
+        a.force_quarantine(i, t);
+        b.force_quarantine(i, t);
+        break;
+      case 3: {
+        const auto ra = a.advance_states(t);
+        const auto rb = b.advance_states(t);
+        ASSERT_EQ(ra, rb);
+        break;
+      }
+      default:
+        a.on_signal(i, t);
+        b.on_signal(i, t);
+        break;
+    }
+    ASSERT_EQ(a.recompute(t), b.recompute(t)) << "step " << s;
+    ASSERT_EQ(a.num_troubled(), b.num_troubled());
+    ASSERT_EQ(a.active_count(), b.active_count());
+    ASSERT_EQ(a.min_interval(t), b.min_interval(t));
+    ASSERT_EQ(a.srtt_max(), b.srtt_max());
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(a.troubled(j), b.troubled(j)) << "rcvr " << j;
+      ASSERT_EQ(a.excluded(j), b.excluded(j)) << "rcvr " << j;
+      ASSERT_EQ(a.state(j), b.state(j)) << "rcvr " << j;
+      ASSERT_EQ(a.strikes(j), b.strikes(j)) << "rcvr " << j;
+      ASSERT_EQ(a.signals(j), b.signals(j)) << "rcvr " << j;
+    }
+  }
+}
+
+TEST(CensusScale, SampledReservoirGeNMatchesExactBitForBit) {
+  const int n = 64;
+  cc::TroubledCensus exact(20.0, 0.25);
+  cc::TroubledCensus sampled(20.0, 0.25);
+  cc::CensusSampleParams sp;
+  sp.mode = cc::CensusMode::kSampled;
+  sp.reservoir = 256;  // >= n: the sample IS the membership
+  sampled.configure_sampling(sp);
+  expect_census_lockstep(exact, sampled, n, 600, /*with_defense=*/false);
+}
+
+TEST(CensusScale, SampledReservoirGeNMatchesExactUnderDefense) {
+  const int n = 48;
+  cc::TroubledCensus exact(20.0, 0.25);
+  cc::TroubledCensus sampled(20.0, 0.25);
+  cc::CensusSampleParams sp;
+  sp.mode = cc::CensusMode::kSampled;
+  sp.reservoir = 64;
+  sampled.configure_sampling(sp);
+  expect_census_lockstep(exact, sampled, n, 600, /*with_defense=*/true);
+}
+
+TEST(CensusScale, SmallReservoirBoundsNumTroubleError) {
+  // f = 1/5 of 5000 members signal 100x faster than the rest; they are the
+  // troubled set.  The bottom-k estimate scales the sampled troubled count
+  // by active/sample, with relative standard error ~ sqrt((1-f)/(f*k)).
+  const int n = 5000;
+  const int k = 256;
+  const double f = 0.2;
+  cc::TroubledCensus exact(20.0, 0.25);
+  cc::TroubledCensus sampled(20.0, 0.25);
+  cc::CensusSampleParams sp;
+  sp.mode = cc::CensusMode::kSampled;
+  sp.reservoir = static_cast<std::size_t>(k);
+  sampled.configure_sampling(sp);
+  for (int i = 0; i < n; ++i) {
+    exact.add_receiver();
+    sampled.add_receiver();
+  }
+  const int fast_stride = static_cast<int>(1.0 / f);
+  for (double t = 1.0; t < 21.0; t += 0.1) {
+    for (int i = 0; i < n; ++i) {
+      const bool fast = (i % fast_stride) == 0;
+      // Fast members signal every 0.1 s, slow members every 10 s.
+      const bool due =
+          fast || std::fmod(t - 1.0, 10.0) < 0.05;
+      if (!due) continue;
+      exact.on_signal(i, t);
+      sampled.on_signal(i, t);
+    }
+  }
+  const int t_exact = exact.recompute(21.0);
+  const int t_sampled = sampled.recompute(21.0);
+  ASSERT_GT(t_exact, 0);
+  ASSERT_GT(t_sampled, 0);
+  const double rel_err =
+      std::abs(static_cast<double>(t_sampled - t_exact)) /
+      static_cast<double>(t_exact);
+  const double stderr_bound = std::sqrt((1.0 - f) / (f * k));  // ~0.125
+  EXPECT_LT(rel_err, 4.0 * stderr_bound)
+      << "exact=" << t_exact << " sampled=" << t_sampled;
+}
+
+TEST(CensusScale, SlimCensusMemoryIsSublinear) {
+  // Only reservoir members and signallers get wide-stat slots: census
+  // memory is O(reservoir + signallers), not O(N).
+  const int n = 20000;
+  cc::TroubledCensus exact(20.0, 0.25);
+  cc::TroubledCensus sampled(20.0, 0.25);
+  cc::CensusSampleParams sp;
+  sp.mode = cc::CensusMode::kSampled;
+  sp.reservoir = 128;
+  sampled.configure_sampling(sp);
+  for (int i = 0; i < n; ++i) {
+    exact.add_receiver();
+    sampled.add_receiver();
+    exact.note_srtt(i, 0.1);
+    sampled.note_srtt(i, 0.1);
+  }
+  // A handful of members signal; everyone else stays cheap.
+  for (int i = 0; i < 10; ++i) {
+    exact.on_signal(i, 1.0 + i);
+    sampled.on_signal(i, 1.0 + i);
+  }
+  EXPECT_LT(sampled.state_bytes() * 4, exact.state_bytes())
+      << "slim=" << sampled.state_bytes() << " dense=" << exact.state_bytes();
+}
+
+// --- rla::ReceiverTable slim mode -----------------------------------------
+
+cc::RttEstimatorParams rtt_params() { return cc::RttEstimatorParams{}; }
+
+TEST(SlimTable, UntrackedMembersShareTheFallbackEstimator) {
+  rla::ReceiverTable t(rtt_params(), /*slim=*/true);
+  for (int i = 0; i < 3; ++i) t.add(1, 10, 0, 0.0);
+  EXPECT_FALSE(t.tracked(0));
+  EXPECT_FALSE(t.tracked(1));
+  t.rtt_add_sample(0, 0.5);
+  // 0's sample landed in the shared estimator, so 1 reports it too.
+  EXPECT_EQ(t.rtt(0).srtt(), t.rtt(1).srtt());
+  EXPECT_DOUBLE_EQ(t.rtt(1).srtt(), 0.5);
+}
+
+TEST(SlimTable, TrackedMemberGetsItsOwnEstimatorSeededFromFallback) {
+  rla::ReceiverTable t(rtt_params(), /*slim=*/true);
+  for (int i = 0; i < 3; ++i) t.add(1, 10, 0, 0.0);
+  t.rtt_add_sample(0, 0.5);  // population estimate: 0.5
+  t.ensure_tracked(2);
+  EXPECT_TRUE(t.tracked(2));
+  // Seeded from the fallback, then diverges on its own samples.
+  EXPECT_DOUBLE_EQ(t.rtt(2).srtt(), 0.5);
+  t.rtt_add_sample(2, 2.0);
+  EXPECT_GT(t.rtt(2).srtt(), 0.5);
+  EXPECT_DOUBLE_EQ(t.rtt(0).srtt(), 0.5);  // fallback untouched by 2
+}
+
+TEST(SlimTable, GrouperAccessAndMaterializeAllocateTrackedSlots) {
+  rla::ReceiverTable t(rtt_params(), /*slim=*/true);
+  for (int i = 0; i < 4; ++i) t.add(1, 10, 0, 0.0);
+  (void)t.grouper(1);
+  EXPECT_TRUE(t.tracked(1));
+  t.materialize(2);
+  EXPECT_TRUE(t.tracked(2));
+  EXPECT_FALSE(t.tracked(3));
+  EXPECT_EQ(t.tracked_count(), 2u);
+}
+
+TEST(SlimTable, AllTrackedMatchesDenseTable) {
+  // With every member tracked the slim table must agree with the dense one
+  // on every RTT aggregate — the table half of the reservoir >= N property.
+  cc::TroubledCensus census(20.0, 0.25);
+  rla::ReceiverTable dense(rtt_params(), /*slim=*/false);
+  rla::ReceiverTable slim(rtt_params(), /*slim=*/true);
+  const int n = 16;
+  for (int i = 0; i < n; ++i) {
+    census.add_receiver();
+    dense.add(1, 10, 0, 0.0);
+    slim.add(1, 10, 0, 0.0);
+    slim.ensure_tracked(i);
+  }
+  std::uint64_t x = 123;
+  for (int s = 0; s < 400; ++s) {
+    const int i = static_cast<int>(lcg(x) % n);
+    switch (lcg(x) % 4) {
+      case 0: {
+        const double sample = 0.05 + 0.01 * static_cast<double>(lcg(x) % 50);
+        dense.rtt_add_sample(i, sample);
+        slim.rtt_add_sample(i, sample);
+        break;
+      }
+      case 1:
+        dense.rtt_reset_backoff(i);
+        slim.rtt_reset_backoff(i);
+        break;
+      case 2:
+        dense.rtt_back_off_all(census);
+        slim.rtt_back_off_all(census);
+        break;
+      default:
+        break;
+    }
+    ASSERT_EQ(dense.max_rto(census), slim.max_rto(census)) << "step " << s;
+    ASSERT_EQ(dense.rtt(i).srtt(), slim.rtt(i).srtt());
+    ASSERT_EQ(dense.rtt(i).rto(), slim.rtt(i).rto());
+  }
+}
+
+TEST(SlimTable, MaxRtoCountsFallbackOnlyWhileUntrackedMembersExist) {
+  cc::TroubledCensus census(20.0, 0.25);
+  rla::ReceiverTable t(rtt_params(), /*slim=*/true);
+  for (int i = 0; i < 3; ++i) {
+    census.add_receiver();
+    t.add(1, 10, 0, 0.0);
+  }
+  t.ensure_tracked(0);
+  t.rtt_add_sample(0, 0.1);
+  // 1 and 2 are untracked; 1's huge sample lands in the shared fallback,
+  // which speaks for both of them in the aggregate: it must win.
+  t.rtt_add_sample(1, 8.0);
+  const double fallback_rto = t.rtt(2).rto();  // untracked view == fallback
+  const double with_untracked = t.max_rto(census);
+  EXPECT_GE(with_untracked, fallback_rto);
+  // Once no ACTIVE member is untracked the fallback speaks for nobody and
+  // the aggregate is over the tracked members only.
+  census.exclude(1);
+  census.exclude(2);
+  EXPECT_DOUBLE_EQ(t.max_rto(census), t.rtt(0).rto());
+  EXPECT_LT(t.max_rto(census), with_untracked);
+}
+
+TEST(SlimTable, StateBytesAreSublinearInMembership) {
+  const int n = 10000;
+  rla::ReceiverTable dense(rtt_params(), /*slim=*/false);
+  rla::ReceiverTable slim(rtt_params(), /*slim=*/true);
+  for (int i = 0; i < n; ++i) {
+    dense.add(1, 10, 0, 0.0);
+    slim.add(1, 10, 0, 0.0);
+  }
+  for (int i = 0; i < 32; ++i) slim.ensure_tracked(i);
+  EXPECT_EQ(slim.tracked_count(), 32u);
+  EXPECT_LT(slim.state_bytes() * 3, dense.state_bytes())
+      << "slim=" << slim.state_bytes() << " dense=" << dense.state_bytes();
+}
+
+}  // namespace
+}  // namespace rlacast

@@ -43,13 +43,16 @@ endif()
 # Extracts `"case.metric": <number>` pairs; keys land in <prefix>_keys and
 # values in <prefix>_<key>.  Only dotted keys match, which selects exactly
 # the per-case throughput metrics and skips config scalars like "seed".
+# Key segments may carry hyphens and further dots (the workload snapshot
+# uses "sack-ftp.droptail.jain_min"-shaped keys).
 function(parse_metrics json_path prefix)
   file(READ "${json_path}" raw)
-  string(REGEX MATCHALL "\"[A-Za-z0-9_]+\\.[A-Za-z0-9_]+\"[ \t]*:[ \t]*[-+.0-9eE]+"
+  string(REGEX MATCHALL
+         "\"[A-Za-z0-9_-]+(\\.[A-Za-z0-9_-]+)+\"[ \t]*:[ \t]*[-+.0-9eE]+"
          pairs "${raw}")
   set(keys "")
   foreach(pair IN LISTS pairs)
-    string(REGEX REPLACE "\"([A-Za-z0-9_]+\\.[A-Za-z0-9_]+)\".*" "\\1" key "${pair}")
+    string(REGEX REPLACE "\"([A-Za-z0-9_.-]+)\".*" "\\1" key "${pair}")
     string(REGEX REPLACE ".*:[ \t]*([-+.0-9eE]+)" "\\1" val "${pair}")
     list(APPEND keys "${key}")
     set(${prefix}_${key} "${val}" PARENT_SCOPE)
@@ -88,13 +91,13 @@ foreach(key IN LISTS base_keys)
     math(EXPR regressions "${regressions} + 1")
     message(WARNING "perf_gate: ${key} fell >15% below the checked-in "
                     "snapshot: ${fresh_${key}} vs baseline ${base_${key}} "
-                    "(regenerate BENCH_engine.json via tools/regen_results.sh "
+                    "(regenerate ${BASELINE} via tools/regen_results.sh "
                     "if intentional)")
   endif()
 endforeach()
 
 if(regressions EQUAL 0)
-  message(STATUS "perf_gate: ${n_base} metrics within 15% of BENCH_engine.json")
+  message(STATUS "perf_gate: ${n_base} metrics within 15% of ${BASELINE}")
 else()
   message(STATUS "perf_gate: ${regressions} metric(s) below threshold (warned, "
                  "not failed)")

@@ -29,7 +29,7 @@ ctest --test-dir "$ROOT/$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
 mkdir -p "$ROOT/results"
 
 # Benches migrated onto the exp/ runner (accept --jobs/--json).
-exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession bench_engine bench_robustness bench_adversary bench_workload"
+exp_benches="bench_fig7_droptail bench_fig9_red bench_fig10_rtt bench_multisession bench_engine bench_robustness bench_adversary bench_workload bench_scale"
 is_exp_bench() {
   local name="$1" b
   for b in $exp_benches; do [ "$b" = "$name" ] && return 0; done
@@ -41,6 +41,7 @@ trajectory_args() {
   case "$1" in
     bench_engine)   echo "--trajectory $ROOT/BENCH_engine.json" ;;
     bench_workload) echo "--trajectory $ROOT/BENCH_workload.json" ;;
+    bench_scale)    echo "--trajectory $ROOT/BENCH_scale.json" ;;
     *)              echo "" ;;
   esac
 }
