@@ -96,6 +96,10 @@ exp::Metrics tree_metrics(const topo::TreeResult& res) {
   m.set("rla.active_final", static_cast<double>(res.active_receivers_final));
   m.set("fault.wire_losses", static_cast<double>(res.fault_wire_losses));
   m.set("fault.duplicates", static_cast<double>(res.fault_duplicates));
+  m.set("failover.events", static_cast<double>(res.failover_events));
+  m.set("subtree.excisions", static_cast<double>(res.subtree_excisions));
+  m.set("subtree.readmissions",
+        static_cast<double>(res.subtree_readmissions));
   m.set("watchdog_ok", res.watchdog_ok ? 1.0 : 0.0);
   return m;
 }
@@ -188,11 +192,41 @@ int main(int argc, char** argv) {
           static_cast<int>(spec.point.get_double("scenario", 0.0));
       const std::uint64_t chaos_seed = sim::SeedSequence(spec.seed).seed_for(
           "chaos/" + std::to_string(scenario));
-      const fault::ChaosDraw draw = fault::draw_chaos(
-          fault::ChaosConfig{}, chaos_seed, /*n_receivers=*/27);
+      // Structural draws on: a chaos replicate may additionally partition a
+      // subtree uplink or crash a router (draw.structural).  The four extra
+      // draws are appended at the END of the chaos stream, so the hostility
+      // mix of historical scenarios is unchanged for a given seed.
+      fault::ChaosConfig chaos_cfg;
+      chaos_cfg.structural = true;
+      const fault::ChaosDraw draw =
+          fault::draw_chaos(chaos_cfg, chaos_seed, /*n_receivers=*/27);
       cfg.leaf_fault = draw.leaf_fault;
       cfg.ack_fault = draw.ack_fault;
       cfg.adversaries = draw.adversaries();
+      if (draw.structural != fault::StructuralKind::kNone) {
+        topo::SubtreeOutage so;
+        so.start = draw.partition_start;
+        so.end = draw.partition_start + draw.partition_len;
+        switch (draw.structural) {
+          case fault::StructuralKind::kMidPartition:
+            so.level = 2;
+            so.index = 1 + draw.structural_index % 3;
+            break;
+          case fault::StructuralKind::kRouterCrash:
+            so.router_crash = true;
+            [[fallthrough]];
+          case fault::StructuralKind::kLeafPartition:
+          default:
+            so.level = 3;
+            so.index = 1 + draw.structural_index % 9;
+            break;
+        }
+        cfg.partitions.push_back(so);
+        // Both protections ride along: failover re-grafts what it can
+        // (partitions), excision/re-admission owns the rest (crashes).
+        cfg.backup_paths = true;
+        cfg.rla.degrade.enabled = true;
+      }
     } else {
       cfg.gateway = spec.point.get("gw", "droptail") == "red"
                         ? topo::GatewayType::kRed
@@ -302,6 +336,17 @@ int main(int argc, char** argv) {
         "undefended %d/%d, defended %d/%d\n",
         ok_runs, results.runs().size(), band_runs[0], total[0], band_runs[1],
         total[1]);
+    double failovers = 0, excisions = 0, readmissions = 0;
+    for (const auto& r : results.runs()) {
+      if (!r.ok) continue;
+      failovers += r.metrics.get("failover.events", 0.0);
+      excisions += r.metrics.get("subtree.excisions", 0.0);
+      readmissions += r.metrics.get("subtree.readmissions", 0.0);
+    }
+    std::printf(
+        "structural self-healing: %.0f failover flips, %.0f excisions, "
+        "%.0f re-admissions across the soak\n",
+        failovers, excisions, readmissions);
   }
 
   std::vector<std::pair<std::string, std::string>> extra;

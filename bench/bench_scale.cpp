@@ -108,6 +108,11 @@ exp::Metrics scale_metrics(const topo::BigTreeResult& res, int n, bool red,
   m.set("wall_s", wall);
   m.set("events_per_sec",
         wall > 0.0 ? static_cast<double>(res.events) / wall : 0.0);
+  // End-to-end sender CPU per ACK: total wall clock over ACKs heard. The
+  // census microbench below isolates the per-signal scan; this is the
+  // whole-pipeline number (packet sim + scoreboard + census + timers).
+  m.set("cpu_us_per_ack",
+        res.acks > 0 ? wall * 1e6 / static_cast<double>(res.acks) : 0.0);
   return m;
 }
 
@@ -161,11 +166,12 @@ int main(int argc, char** argv) {
   exp::Grid grid;
   grid.master_seed(opt.seed).replicates(opt.replicates);
   auto add_case = [&](const ScaleCase& sc, const char* gw,
-                      const char* census) {
+                      const char* census, const std::string& suffix = "") {
     char dur[32], warm[32];
     std::snprintf(dur, sizeof dur, "%g", sc.duration * tscale);
     std::snprintf(warm, sizeof warm, "%g", sc.warmup * tscale);
-    grid.add_case(std::string(gw) + "-n" + std::to_string(sc.n) + "-" + census,
+    grid.add_case(std::string(gw) + "-n" + std::to_string(sc.n) + "-" +
+                      census + suffix,
                   exp::Point{}
                       .set("gw", gw)
                       .set("n", std::to_string(sc.n))
@@ -182,6 +188,17 @@ int main(int argc, char** argv) {
       // Sampled census spot checks where reservoir << n actually holds.
       if (sc.n >= 1000 && sc.n <= 10000) add_case(sc, gw, "sampled");
     }
+  }
+  // Group-collapse-factor sweep at n = 10^4 (RED, exact census): g is how
+  // many members a collapsed leaf aggregates, so n/g is the simulated
+  // fan-out. The band must hold at every g, and the sweep shows how much
+  // of the events/s and CPU-per-ACK headline is collapse artifact vs
+  // genuine per-member cost (case names carry a -gN suffix so the default
+  // g=100 case keeps its trajectory keys).
+  if (!opt.smoke) {
+    for (int g : {25, 50, 200, 400})
+      add_case({10000, g, 20.0, 8.0}, "red", "exact",
+               "-g" + std::to_string(g));
   }
 
   const exp::RunFn run = [&](const exp::RunSpec& spec) {
@@ -217,8 +234,9 @@ int main(int argc, char** argv) {
   exp::Runner runner(ropts);
   const exp::Results results = runner.run(grid, run);
 
-  std::printf("%-22s %8s %9s %16s %8s %9s %7s %9s\n", "case", "RLA/WTCP",
-              "band", "in-band", "B/rcvr", "baseline", "mat.hi", "drop");
+  std::printf("%-22s %8s %9s %16s %8s %9s %7s %9s %8s\n", "case", "RLA/WTCP",
+              "band", "in-band", "B/rcvr", "baseline", "mat.hi", "drop",
+              "us/ACK");
   int bands_checked = 0;
   int bands_in = 0;
   for (const auto& r : results.runs()) {
@@ -233,13 +251,14 @@ int main(int argc, char** argv) {
     ++bands_checked;
     const bool in = r.metrics.get("band.inband", 0.0) > 0.0;
     if (in) ++bands_in;
-    std::printf("%-22s %8.2f %16s %9s %8.0f %8.1fx %7.0f %8.4f\n",
+    std::printf("%-22s %8.2f %16s %9s %8.0f %8.1fx %7.0f %8.4f %8.2f\n",
                 r.spec.name.c_str(), r.metrics.get("fairness_ratio", 0.0),
                 band, in ? "yes" : "NO",
                 r.metrics.get("state_bytes_per_rcvr", 0.0),
                 r.metrics.get("baseline_ratio", 0.0),
                 r.metrics.get("materialized_hiwater", 0.0),
-                r.metrics.get("drop_rate", 0.0));
+                r.metrics.get("drop_rate", 0.0),
+                r.metrics.get("cpu_us_per_ack", 0.0));
   }
   std::printf("\nband checks: %d/%d in band\n", bands_in, bands_checked);
 
@@ -277,6 +296,8 @@ int main(int argc, char** argv) {
                       r.metrics.get("baseline_ratio", 0.0));
     traj.emplace_back(r.spec.name + ".events_per_sec",
                       r.metrics.get("events_per_sec", 0.0));
+    traj.emplace_back(r.spec.name + ".cpu_us_per_ack",
+                      r.metrics.get("cpu_us_per_ack", 0.0));
     if (r.spec.point.get("gw", "") == "red" &&
         r.spec.point.get("census", "") == "exact" &&
         r.metrics.get("n", 0.0) > headline_n) {

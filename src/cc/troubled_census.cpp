@@ -91,6 +91,14 @@ void TroubledCensus::exclude(int i) {
   if (was_active) membership_changed(i, /*now_active=*/false);
 }
 
+void TroubledCensus::readmit(int i) {
+  const auto u = static_cast<std::size_t>(i);
+  if (core_.state[u] != MemberState::kExcluded) return;
+  core_.state[u] = MemberState::kActive;
+  core_.reset_epoch(i);
+  membership_changed(i, /*now_active=*/true);
+}
+
 void TroubledCensus::rate_check(int i, sim::SimTime now) {
   const auto u = static_cast<std::size_t>(i);
   if (core_.epoch_signal_count(i) < defense_.min_signals) return;

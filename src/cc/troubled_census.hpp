@@ -144,8 +144,15 @@ class TroubledCensus : public replay::Snapshotable {
   void on_signal(int i, sim::SimTime now);
 
   /// Permanently removes receiver `i` from the census (§4.3 slow-drop,
-  /// leaves, silent-receiver drops).
+  /// leaves, silent-receiver drops, subtree excision).
   void exclude(int i);
+
+  /// Reverses exclude(): re-admits a kExcluded member as kActive with a
+  /// fresh census epoch (stale signal history from before the exclusion
+  /// must not poison its interval estimate).  The structural-heal path —
+  /// the sender's subtree re-admission ramp — graduates members back
+  /// through this.  No-op unless `i` is currently kExcluded.
+  void readmit(int i);
 
   /// True while `i` must not influence the sender: permanently excluded OR
   /// serving a quarantine.  Every sender-side guard (frontier, scoreboards,

@@ -21,15 +21,32 @@ std::vector<std::pair<int, AdversaryModel>> ChaosDraw::adversaries() const {
   return out;
 }
 
+const char* structural_kind_name(StructuralKind k) {
+  switch (k) {
+    case StructuralKind::kNone: return "none";
+    case StructuralKind::kLeafPartition: return "l3part";
+    case StructuralKind::kMidPartition: return "l2part";
+    case StructuralKind::kRouterCrash: return "crash";
+  }
+  return "?";
+}
+
 std::string ChaosDraw::describe() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "chaos{%s x%d, ack_loss=%.3f ack_dup=%.3f ack_jit=%.3f "
                 "leaf_loss=%.3f flip=%.1f}",
                 adversary_kind_name(kind), n_adversaries, ack_fault.loss_p,
                 ack_fault.duplicate_p, ack_fault.max_jitter,
                 leaf_fault.loss_p, flip_period);
-  return std::string(buf);
+  std::string out(buf);
+  if (structural != StructuralKind::kNone) {
+    std::snprintf(buf, sizeof(buf), " struct=%s#%d@%.1f+%.1fs",
+                  structural_kind_name(structural), structural_index,
+                  partition_start, partition_len);
+    out += buf;
+  }
+  return out;
 }
 
 ChaosDraw draw_chaos(const ChaosConfig& cfg, std::uint64_t seed,
@@ -66,6 +83,20 @@ ChaosDraw draw_chaos(const ChaosConfig& cfg, std::uint64_t seed,
   d.leaf_fault.loss_p = rng.uniform(0.0, cfg.max_leaf_loss_p);
   d.flip_period = rng.uniform(cfg.min_flip_period, cfg.max_flip_period);
   d.adversary_start = cfg.adversary_start;
+
+  // Structural draws are strictly appended and gated: with cfg.structural
+  // false nothing below runs and pre-existing journals stay bit-identical.
+  // With it true, exactly four draws are consumed whatever kind lands.
+  if (cfg.structural) {
+    constexpr StructuralKind kStructKinds[] = {
+        StructuralKind::kNone, StructuralKind::kLeafPartition,
+        StructuralKind::kMidPartition, StructuralKind::kRouterCrash};
+    d.structural = kStructKinds[rng.uniform_int(0, 3)];
+    d.structural_index = static_cast<int>(rng.uniform_int(0, 8));
+    d.partition_start =
+        rng.uniform(cfg.min_partition_start, cfg.max_partition_start);
+    d.partition_len = rng.uniform(cfg.min_partition_len, cfg.max_partition_len);
+  }
   return d;
 }
 

@@ -28,7 +28,29 @@ struct ChaosConfig {
   sim::SimTime min_flip_period = 5.0;
   sim::SimTime max_flip_period = 20.0;
   sim::SimTime adversary_start = 20.0;  // honest warm-up before lying
+  /// Structural-failure draws (node crashes / subtree partitions).  Off by
+  /// default: when false, draw_chaos consumes ZERO extra stream draws and
+  /// existing chaos journals stay bit-identical.  When true, exactly four
+  /// extra draws are appended (kind, placement, start, length) regardless
+  /// of which kind lands, so the consumption is seed-stable.
+  bool structural = false;
+  sim::SimTime min_partition_start = 15.0;
+  sim::SimTime max_partition_start = 30.0;
+  sim::SimTime min_partition_len = 2.0;
+  sim::SimTime max_partition_len = 10.0;
 };
+
+/// What structural failure (if any) a chaos replicate draws.  Indices are
+/// topology-relative: the bench maps `structural_index` onto its tree's
+/// subtree roots (e.g. tertiary tree: 9 level-3 groups, 3 level-2 groups).
+enum class StructuralKind : std::uint8_t {
+  kNone = 0,          // this replicate has no structural failure
+  kLeafPartition,     // partition one level-3 (leaf-group) uplink
+  kMidPartition,      // partition one level-2 (mid-group) uplink
+  kRouterCrash,       // crash one level-3 router (all interfaces down)
+};
+
+const char* structural_kind_name(StructuralKind k);
 
 /// One replicate's drawn scenario.
 struct ChaosDraw {
@@ -39,6 +61,13 @@ struct ChaosDraw {
   LinkImpairment leaf_fault{};     // forward leaf-link impairment
   sim::SimTime flip_period = 10.0;
   sim::SimTime adversary_start = 20.0;
+  /// Structural failure of this replicate (kNone unless ChaosConfig::
+  /// structural was set).  structural_index is a raw 0-based draw in
+  /// [0, 9); the bench maps it modulo its subtree count.
+  StructuralKind structural = StructuralKind::kNone;
+  int structural_index = 0;
+  sim::SimTime partition_start = 0.0;
+  sim::SimTime partition_len = 0.0;
 
   /// Materializes the per-receiver models of this draw.
   std::vector<std::pair<int, AdversaryModel>> adversaries() const;
@@ -51,8 +80,9 @@ struct ChaosDraw {
 /// "chaos-scenario" stream of `seed`.  The draw order is part of the replay
 /// contract: kind, adversary count, adversary placement (partial
 /// Fisher-Yates, one uniform_int per slot), ACK loss, ACK duplication, ACK
-/// jitter, leaf loss, flip period — changing it invalidates recorded chaos
-/// journals.
+/// jitter, leaf loss, flip period, then — only when cfg.structural —
+/// structural kind, placement, start, length — changing it invalidates
+/// recorded chaos journals.
 ChaosDraw draw_chaos(const ChaosConfig& cfg, std::uint64_t seed,
                      int n_receivers);
 

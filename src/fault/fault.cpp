@@ -26,19 +26,21 @@ void LinkFaultState::schedule_flap() {
   });
 }
 
-bool LinkFaultState::down(sim::SimTime now) {
-  bool is_down = flap_down_;
-  if (!is_down) {
-    for (const Outage& o : imp_.outages) {
-      if (now >= o.start && now < o.end) {
-        is_down = true;
-        break;
-      }
-    }
+bool LinkFaultState::is_down(sim::SimTime now) const {
+  if (flap_down_) return true;
+  for (const Outage& o : imp_.outages) {
+    if (now >= o.start && now < o.end) return true;
   }
-  if (is_down) ++outage_drops_;
-  return is_down;
+  return false;
 }
+
+bool LinkFaultState::down(sim::SimTime now) {
+  const bool d = is_down(now);
+  if (d) ++outage_drops_;
+  return d;
+}
+
+bool LinkFaultState::peek_down(sim::SimTime now) const { return is_down(now); }
 
 net::LinkFaultHook::WireVerdict LinkFaultState::wire(const net::Packet&,
                                                      sim::SimTime) {
@@ -80,7 +82,62 @@ FaultPlan& FaultPlan::impair(net::NodeId from, net::NodeId to,
   return *this;
 }
 
+FaultPlan& FaultPlan::fail_node(net::NodeId node, sim::SimTime start,
+                                sim::SimTime end) {
+  node_failures_.push_back(NodeFailure{node, start, end});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(net::NodeId a, net::NodeId b,
+                                sim::SimTime start, sim::SimTime end) {
+  partitions_.push_back(Partition{a, b, start, end});
+  return *this;
+}
+
+FaultPlan::Entry& FaultPlan::entry_for(net::NodeId from, net::NodeId to) {
+  for (Entry& e : entries_) {
+    if (e.from == from && e.to == to) return e;
+  }
+  entries_.push_back(Entry{from, to, LinkImpairment{}, nullptr});
+  return entries_.back();
+}
+
+void FaultPlan::resolve_structural(net::Network& net) {
+  // Structural failures merge outage windows ADDITIVELY into per-link
+  // entries.  Outage-only impairments consume zero RNG draws, and each
+  // entry's stream is named by its endpoints, so resolving structure can
+  // never perturb the draw sequence of an already-registered impairment.
+  for (const NodeFailure& nf : node_failures_) {
+    bool touched = false;
+    for (const auto& link : net.links()) {
+      if (link->from() != nf.node && link->to() != nf.node) continue;
+      entry_for(link->from(), link->to())
+          .imp.outages.push_back(Outage{nf.start, nf.end});
+      touched = true;
+    }
+    if (!touched) {
+      throw std::invalid_argument(
+          "FaultPlan::arm: fail_node(" + std::to_string(nf.node) +
+          ") matches no link");
+    }
+  }
+  for (const Partition& p : partitions_) {
+    bool touched = false;
+    for (const auto [from, to] : {std::pair{p.a, p.b}, std::pair{p.b, p.a}}) {
+      if (net.link_between(from, to) == nullptr) continue;
+      entry_for(from, to).imp.outages.push_back(Outage{p.start, p.end});
+      touched = true;
+    }
+    if (!touched) {
+      throw std::invalid_argument(
+          "FaultPlan::arm: partition(" + std::to_string(p.a) + "," +
+          std::to_string(p.b) + ") matches no link");
+    }
+  }
+}
+
 void FaultPlan::arm(net::Network& net) {
+  resolve_structural(net);
   for (Entry& e : entries_) {
     net::Link* link = net.link_between(e.from, e.to);
     if (link == nullptr) {

@@ -45,7 +45,36 @@ struct GilbertElliott {
 };
 
 /// A scheduled interface outage: the link is down on [start, end).
+///
+/// Onset semantics (intentional, pinned by fault_test's
+/// OutageOnsetDeliversInFlightPackets): an outage downs the *interface*,
+/// not the wire.  Only packets offered at transmit() while the outage is
+/// active are discarded; packets already queued, serializing, or in the
+/// net::PacketRing propagation pipe when the outage begins are delivered
+/// normally — matching a router interface going admin-down while photons
+/// already on the fiber still arrive.  A model that also kills in-flight
+/// packets can be composed by pairing the outage with a loss window, but
+/// the base semantics here are deliver-in-flight.
 struct Outage {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+};
+
+/// A router crash: every link attached to `node` (incoming and outgoing) is
+/// down on [start, end) atomically.  Resolved against the actual topology
+/// at arm() time by merging an Outage into each attached link's impairment.
+struct NodeFailure {
+  net::NodeId node = 0;
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+};
+
+/// A correlated bidirectional partition: both directions of the a<->b link
+/// pair are down on [start, end).  Cuts one edge of the tree, severing the
+/// subtree below it, without crashing either endpoint.
+struct Partition {
+  net::NodeId a = 0;
+  net::NodeId b = 0;
   sim::SimTime start = 0.0;
   sim::SimTime end = 0.0;
 };
@@ -85,6 +114,7 @@ class LinkFaultState final : public net::LinkFaultHook {
   LinkFaultState(sim::Simulator& sim, LinkImpairment imp, sim::Rng rng);
 
   bool down(sim::SimTime now) override;
+  bool peek_down(sim::SimTime now) const override;
   WireVerdict wire(const net::Packet& p, sim::SimTime now) override;
 
   /// Starts the flapping state machine (no-op unless imp.flapping()).
@@ -98,6 +128,7 @@ class LinkFaultState final : public net::LinkFaultHook {
 
  private:
   void schedule_flap();
+  bool is_down(sim::SimTime now) const;
 
   sim::Simulator& sim_;
   LinkImpairment imp_;
@@ -120,8 +151,28 @@ class FaultPlan {
   FaultPlan& impair(net::NodeId from, net::NodeId to,
                     const LinkImpairment& imp);
 
-  bool empty() const { return entries_.empty(); }
+  /// Schedules a router crash: at arm() time every link attached to `node`
+  /// in the armed network gets an Outage on [start, end).  Unlike impair()
+  /// this is ADDITIVE — it merges into (never replaces) any per-link
+  /// impairment already registered, and multiple structural failures stack.
+  FaultPlan& fail_node(net::NodeId node, sim::SimTime start, sim::SimTime end);
+
+  /// Schedules a correlated bidirectional partition of the a<->b edge on
+  /// [start, end).  Additive, like fail_node().  Directions that do not
+  /// exist in the armed network are skipped (a partition of a unidirectional
+  /// edge downs just that direction).
+  FaultPlan& partition(net::NodeId a, net::NodeId b, sim::SimTime start,
+                       sim::SimTime end);
+
+  bool empty() const {
+    return entries_.empty() && node_failures_.empty() && partitions_.empty();
+  }
   std::size_t size() const { return entries_.size(); }
+
+  const std::vector<NodeFailure>& node_failures() const {
+    return node_failures_;
+  }
+  const std::vector<Partition>& partitions() const { return partitions_; }
 
   /// Installs hooks on the matching links of `net` and starts flapping
   /// state machines.  Throws std::invalid_argument if a registered link
@@ -138,7 +189,16 @@ class FaultPlan {
     LinkImpairment imp;
     std::unique_ptr<LinkFaultState> state;  // null until arm()
   };
+  /// Finds or creates the entry for from -> to (created entries start with
+  /// an empty impairment, to be merged into).
+  Entry& entry_for(net::NodeId from, net::NodeId to);
+  /// Resolves node failures / partitions against the armed topology by
+  /// merging outage windows into per-link entries.
+  void resolve_structural(net::Network& net);
+
   std::vector<Entry> entries_;
+  std::vector<NodeFailure> node_failures_;
+  std::vector<Partition> partitions_;
 };
 
 }  // namespace rlacast::fault

@@ -51,6 +51,12 @@ class LinkFaultHook {
   /// return means that packet is discarded at the link entrance.
   virtual bool down(sim::SimTime now) = 0;
 
+  /// Non-mutating interface probe: same answer as down() would give at
+  /// `now`, but without counting a discarded packet.  Used by failure
+  /// detectors (topo::FailoverManager) that poll interface health without
+  /// offering traffic.  Default matches a pristine link.
+  virtual bool peek_down(sim::SimTime /*now*/) const { return false; }
+
   struct WireVerdict {
     bool lost = false;             // corrupted on the wire, never arrives
     bool duplicated = false;       // one extra copy propagates
@@ -105,6 +111,19 @@ class Link : public replay::Snapshotable {
   void set_fault_hook(LinkFaultHook* hook) { fault_ = hook; }
   const LinkFaultHook* fault_hook() const { return fault_; }
 
+  /// Non-mutating "is the interface down right now?" probe for failure
+  /// detectors; never counts a drop.  False on a pristine link.
+  bool interface_down(sim::SimTime now) const {
+    return fault_ != nullptr && fault_->peek_down(now);
+  }
+
+  /// Whether Network::build_routes() may use this link.  Backup links are
+  /// created routing-disabled and flipped on by failover re-grafting; a
+  /// disabled link still transmits fine if something routes onto it
+  /// explicitly.  Default on (no behavior change for existing topologies).
+  bool routing_enabled() const { return routing_enabled_; }
+  void set_routing_enabled(bool on) { routing_enabled_ = on; }
+
   /// Packets discarded by injected faults (interface outage at transmit()
   /// plus wire loss at serialization end). Disjoint from drops().
   std::uint64_t fault_drops() const { return fault_drops_; }
@@ -136,6 +155,7 @@ class Link : public replay::Snapshotable {
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t drops_ = 0;
   LinkFaultHook* fault_ = nullptr;
+  bool routing_enabled_ = true;
   sim::SimTime last_arrival_ = 0.0;  // monotone clamp keeping jittered
                                      // deliveries FIFO (pipe pops in order)
   std::uint64_t fault_drops_ = 0;

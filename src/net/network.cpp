@@ -53,6 +53,7 @@ void Network::build_routes() {
   // BFS from every node over the out-link adjacency. Topologies in this
   // project are tens of nodes, so O(V * (V + E)) is plenty fast.
   const auto n = nodes_.size();
+  for (std::size_t src = 0; src < n; ++src) node(static_cast<NodeId>(src)).clear_routes();
   for (std::size_t src = 0; src < n; ++src) {
     std::vector<Link*> first_hop(n, nullptr);
     std::vector<bool> seen(n, false);
@@ -63,6 +64,7 @@ void Network::build_routes() {
       const NodeId u = frontier.front();
       frontier.pop_front();
       for (Link* l : node(u).out_links()) {
+        if (!l->routing_enabled()) continue;
         const auto v = static_cast<std::size_t>(l->to());
         if (seen[v]) continue;
         seen[v] = true;
@@ -87,6 +89,10 @@ void Network::join_group(GroupId g, NodeId source, NodeId member) {
     node(at).add_group_link(g, hop);
     at = hop->to();
   }
+}
+
+void Network::clear_group(GroupId g) {
+  for (const auto& n : nodes_) n->clear_group_links(g);
 }
 
 void Network::attach(NodeId n, PortId port, Agent* agent) {

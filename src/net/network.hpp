@@ -77,12 +77,22 @@ class Network {
   };
   Duplex connect(NodeId a, NodeId b, const LinkConfig& cfg);
 
-  /// Recomputes hop-count shortest-path routing tables for all nodes.
-  /// Call after the topology is final and before join_group().
+  /// Recomputes hop-count shortest-path routing tables for all nodes over
+  /// the routing-enabled links (Link::routing_enabled(); backup links are
+  /// excluded until failover flips them on).  Clears stale routes first, so
+  /// it is safe to call again after a topology change — but group trees
+  /// grafted from the old routes must be re-grafted (clear_group() +
+  /// join_group()).  Call after the topology is final and before
+  /// join_group().
   void build_routes();
 
   /// Grafts the unicast route source->member onto group g's tree.
   void join_group(GroupId g, NodeId source, NodeId member);
+
+  /// Drops group g's forwarding sets at every node (re-grafting support:
+  /// call before re-joining members after build_routes() changed paths).
+  /// Local subscriptions (subscribe()) are untouched.
+  void clear_group(GroupId g);
 
   /// Registers an agent at (node, port).
   void attach(NodeId node, PortId port, Agent* agent);

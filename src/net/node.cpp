@@ -18,11 +18,17 @@ Link* Node::route(NodeId dst) const {
   return routes_[static_cast<std::size_t>(dst)];
 }
 
+void Node::clear_routes() {
+  std::fill(routes_.begin(), routes_.end(), nullptr);
+}
+
 void Node::add_group_link(GroupId g, Link* l) {
   auto& links = group_links_[g];
   if (std::find(links.begin(), links.end(), l) == links.end())
     links.push_back(l);
 }
+
+void Node::clear_group_links(GroupId g) { group_links_.erase(g); }
 
 const std::vector<Link*>* Node::group_links(GroupId g) const {
   const auto it = group_links_.find(g);

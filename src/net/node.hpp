@@ -26,8 +26,14 @@ class Node {
   // --- forwarding state (managed by Network) -------------------------------
   void set_route(NodeId dst, Link* next_hop);
   Link* route(NodeId dst) const;
+  /// Drops every unicast route (re-grafting support: Network::build_routes
+  /// clears before recomputing so stale next-hops cannot survive a topology
+  /// change such as a failover link flip).
+  void clear_routes();
   void add_group_link(GroupId g, Link* l);
   const std::vector<Link*>* group_links(GroupId g) const;
+  /// Drops group g's forwarding set at this node (re-grafting support).
+  void clear_group_links(GroupId g);
 
   // --- local delivery -------------------------------------------------------
   void attach(PortId port, Agent* agent);

@@ -43,6 +43,61 @@ struct FrontierWatchdogParams {
   std::int64_t max_sack_lead = 2048;
 };
 
+/// Sender-side graceful degradation under structural failure (partition /
+/// router crash).  The per-receiver ladders — silent_drop_after, the census
+/// strike machinery — treat each dead receiver separately: a partitioned
+/// subtree of k members costs k independent detections while the reach-all
+/// frontier stays pinned and the RTO path keeps multicasting repairs into
+/// the void.  This detector recognizes the *structural* shape instead:
+/// every member of one topology subtree fell silent at once while
+/// receivers outside it keep acknowledging.  The whole subtree is then
+/// excised in one event — members ride the census exclusion, so
+/// num_trouble, reach-all, and the RTO loop shrink to the survivors and
+/// the dead members' rexmit state collapses into a single SubtreeEvent
+/// record (no RTO storm).  When the partition heals, the first ACK whose
+/// ts_echo postdates the excision starts a slow-start-style re-admission
+/// ramp: missed data is re-multicast in doubling bursts, and once the
+/// rejoiners' cumulative point is within handover_packets of the send
+/// frontier they are re-admitted to the census (fresh epoch, reset
+/// liveness clock) without collapsing the survivors' window.
+struct SubtreeDegradeParams {
+  bool enabled = false;
+  /// Whole-subtree ACK silence before excision — also the bound on
+  /// time-to-excise (plus one check_period of polling slack).  Must be
+  /// well above one leaf RTT or a burst loss looks like a partition.
+  sim::SimTime silence_after = 1.0;
+  /// Detection poll period.
+  sim::SimTime check_period = 0.25;
+  /// Re-admission ramp tick; each tick multicasts one burst of catch-up
+  /// retransmissions for every ramping subtree.
+  sim::SimTime ramp_tick = 0.05;
+  /// First ramp burst, in packets; doubles each tick (slow-start shape)
+  /// up to ramp_max_burst.
+  int ramp_initial_burst = 2;
+  int ramp_max_burst = 64;
+  /// The rejoining subtree graduates (census re-admission) once the gap
+  /// between its members' cumulative point and the send frontier is at
+  /// most this many packets; the ordinary repair path closes the rest.
+  std::int64_t handover_packets = 8;
+};
+
+/// One excision → (heal → re-admission) episode of a subtree, exposed by
+/// RlaSender::subtree_events() and surfaced in topo results.
+struct SubtreeEvent {
+  int subtree = -1;
+  sim::SimTime excised_at = 0.0;
+  /// Silence observed when the excision fired (>= silence_after).
+  sim::SimTime time_to_excise = 0.0;
+  int members_excised = 0;
+  sim::SimTime healed_at = -1.0;      // first post-excision ACK; -1 = never
+  sim::SimTime readmitted_at = -1.0;  // ramp graduation; -1 = never
+  sim::SimTime time_to_readmit = -1.0;  // readmitted_at - healed_at
+  int members_readmitted = 0;
+  /// Reach-all frontier advance rate over [excised_at, readmitted_at] —
+  /// what the survivors actually got while the subtree was out.
+  double survivor_goodput_pps = 0.0;
+};
+
 struct RlaParams {
   double initial_cwnd = 1.0;
   double initial_ssthresh = 64.0;
@@ -162,6 +217,12 @@ struct RlaParams {
   /// Liveness defense against frontier-pinning coalitions; see
   /// FrontierWatchdogParams. Disabled by default.
   FrontierWatchdogParams frontier_watchdog{};
+
+  /// Structural graceful degradation: whole-subtree excision on partition
+  /// and the slow-start re-admission ramp on heal; see
+  /// SubtreeDegradeParams. Disabled by default (no timers, no draws —
+  /// byte-identical to a sender without it).
+  SubtreeDegradeParams degrade{};
 };
 
 }  // namespace rlacast::rla

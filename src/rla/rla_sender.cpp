@@ -71,6 +71,8 @@ replay::Snapshot RlaSender::snapshot_state() const {
   s.put("listen_rng_draws", listen_rng_.draw_count());
   s.put("materialized", table_.materialized_count());
   s.put("watchdog_quarantines", watchdog_quarantines_);
+  s.put("subtree_excisions", subtree_excisions_);
+  s.put("subtree_readmissions", subtree_readmissions_);
   return s;
 }
 
@@ -175,6 +177,13 @@ void RlaSender::on_receive(const net::Packet& p) {
   // quarantined member's own ACKs can drive its release.
   if (params_.defense.enabled || params_.frontier_watchdog.enabled)
     rejoin_receivers(census_.advance_states(sim_.now()));
+  // Structural heal detection, also ahead of the excluded() gate: an ACK
+  // from an excised subtree member is the only signal that its partition
+  // healed.  The member stays excluded until its subtree's re-admission
+  // ramp graduates.
+  if (static_cast<std::size_t>(idx) < excised_.size() &&
+      excised_[static_cast<std::size_t>(idx)] != 0)
+    note_heal_ack(p, idx);
   // A stale ACK from a departed/dropped receiver (in flight at leave time,
   // or a crashed receiver coming back) must not touch frozen scoreboard or
   // census state.
@@ -624,6 +633,191 @@ void RlaSender::drop_silent_receivers() {
   // The silent receiver was pinning the frontier: recompute it over the
   // survivors and resume sending into the room that opened.
   advance_reach_all();
+  send_new_data(params_.max_burst);
+}
+
+void RlaSender::set_subtree(int idx, int subtree) {
+  if (!params_.degrade.enabled || subtree < 0) return;
+  if (idx < 0 || static_cast<std::size_t>(idx) >= table_.size()) return;
+  if (subtree_of_.size() < table_.size()) {
+    subtree_of_.resize(table_.size(), -1);
+    excised_.resize(table_.size(), 0);
+  }
+  subtree_of_[static_cast<std::size_t>(idx)] = subtree;
+  subtrees_[subtree].members.push_back(idx);
+  if (!degrade_timer_) {
+    degrade_timer_ =
+        std::make_unique<sim::Timer>(sim_, [this] { check_subtrees(); });
+    degrade_timer_->schedule(params_.degrade.check_period);
+  }
+}
+
+void RlaSender::check_subtrees() {
+  degrade_timer_->schedule(params_.degrade.check_period);
+  if (!started_) return;
+  const SubtreeDegradeParams& dp = params_.degrade;
+  const sim::SimTime now = sim_.now();
+  for (auto& [sid, st] : subtrees_) {
+    if (st.phase != Subtree::Phase::kHealthy) continue;
+    // Whole-subtree silence: the NEWEST ACK over the live members is stale.
+    sim::SimTime last = -1.0;
+    bool any_active = false;
+    for (const int m : st.members) {
+      if (census_.excluded(m)) continue;
+      any_active = true;
+      last = std::max(last, table_.last_ack_at(m));
+    }
+    if (!any_active || now - last < dp.silence_after) continue;
+    // The structural signature's other half: somebody OUTSIDE the subtree
+    // was heard from recently.  All-quiet is a sender-side stall (or the
+    // pre-start idle), not a partition — that shape belongs to the timeout
+    // path and the per-receiver ladders.
+    bool outside_alive = false;
+    for (std::size_t i = 0; i < table_.size() && !outside_alive; ++i) {
+      const int idx = static_cast<int>(i);
+      if (census_.excluded(idx)) continue;
+      if (i < subtree_of_.size() && subtree_of_[i] == sid) continue;
+      if (now - table_.last_ack_at(idx) <= dp.silence_after)
+        outside_alive = true;
+    }
+    if (!outside_alive) continue;
+    excise_subtree(sid, st, now - last);
+  }
+}
+
+void RlaSender::excise_subtree(int sid, Subtree& st, sim::SimTime silence) {
+  st.phase = Subtree::Phase::kExcised;
+  st.excised_at = sim_.now();
+  st.reach_at_excise = max_reach_all_;
+  st.healed_at = -1.0;
+  st.heard.clear();
+  SubtreeEvent ev;
+  ev.subtree = sid;
+  ev.excised_at = st.excised_at;
+  ev.time_to_excise = silence;
+  for (const int m : st.members) {
+    if (census_.excluded(m)) continue;
+    census_.exclude(m);
+    excised_[static_cast<std::size_t>(m)] = 1;
+    ++ev.members_excised;
+  }
+  st.event_index = events_.size();
+  events_.push_back(ev);
+  ++subtree_excisions_;
+  census_.recompute(sim_.now());
+  // ONE event for the whole subtree: census, reach-all frontier and the
+  // RTO loop shrink to the survivors here, instead of k separate
+  // silent-receiver detections each dragging its own timeout.
+  advance_reach_all();
+  restart_timeout_timer();
+  send_new_data(params_.max_burst);
+}
+
+void RlaSender::note_heal_ack(const net::Packet& ack, int idx) {
+  const int sid = subtree_of_[static_cast<std::size_t>(idx)];
+  if (sid < 0) return;
+  const auto it = subtrees_.find(sid);
+  if (it == subtrees_.end()) return;
+  Subtree& st = it->second;
+  if (st.phase == Subtree::Phase::kHealthy) return;
+  // Stale ACKs (in flight when the partition began, or echoes of
+  // pre-partition data) don't prove anything; only an echo of a
+  // post-excision send shows the path works end to end again.
+  if (ack.ts_echo <= st.excised_at) return;
+  const net::SeqNum cum = std::max<net::SeqNum>(0, ack.ack);
+  if (st.phase == Subtree::Phase::kExcised) {
+    bool was_ramping = false;
+    for (const auto& [s2, st2] : subtrees_)
+      if (st2.phase == Subtree::Phase::kRamping) {
+        was_ramping = true;
+        break;
+      }
+    st.phase = Subtree::Phase::kRamping;
+    st.healed_at = sim_.now();
+    st.ramp_next = cum;
+    st.ramp_burst = std::max(1, params_.degrade.ramp_initial_burst);
+    events_[st.event_index].healed_at = st.healed_at;
+    if (!ramp_timer_)
+      ramp_timer_ = std::make_unique<sim::Timer>(sim_, [this] { ramp_tick(); });
+    if (!was_ramping) ramp_timer_->schedule(params_.degrade.ramp_tick);
+  } else if (cum < st.ramp_next) {
+    // A later healer is further behind: back the catch-up cursor down.
+    st.ramp_next = cum;
+  }
+  net::SeqNum& heard = st.heard[idx];
+  heard = std::max(heard, cum);
+}
+
+void RlaSender::ramp_tick() {
+  const SubtreeDegradeParams& dp = params_.degrade;
+  for (auto& [sid, st] : subtrees_) {
+    (void)sid;
+    if (st.phase != Subtree::Phase::kRamping) continue;
+    // Slow-start-shaped catch-up: one doubling burst of multicast resends
+    // per tick, capped, so the rejoiners' missed data flows without
+    // flooding the survivors' bottleneck all at once.
+    int budget = st.ramp_burst;
+    while (budget-- > 0 && st.ramp_next < next_seq_) {
+      send_data_packet(st.ramp_next++, /*rexmit=*/true, net::kNoNode, 0);
+      ++ramp_rexmits_;
+    }
+    st.ramp_burst = std::min(st.ramp_burst * 2, std::max(1, dp.ramp_max_burst));
+    // Graduate once the slowest heard rejoiner is within handover range of
+    // the send frontier — or once the whole missed backlog has been resent
+    // (ramp_next caught the frontier).  The second arm matters on a shared
+    // bottleneck: there the frontier advances at the same bottleneck-limited
+    // pace as the rejoiners' catch-up, the gap never closes, and an
+    // exact-gap predicate would ramp forever.  Handover with a residual gap
+    // is safe — once readmitted, the window is clocked off the rejoiners'
+    // ACKs, so the frontier holds until the ordinary repair path closes it.
+    net::SeqNum min_cum = next_seq_;
+    for (const auto& [m, c] : st.heard) {
+      (void)m;
+      min_cum = std::min(min_cum, c);
+    }
+    if (st.ramp_next >= next_seq_ ||
+        next_seq_ - min_cum <= dp.handover_packets)
+      graduate_subtree(st);
+  }
+  bool any_ramping = false;
+  for (const auto& [sid2, st2] : subtrees_)
+    if (st2.phase == Subtree::Phase::kRamping) {
+      any_ramping = true;
+      break;
+    }
+  if (any_ramping) ramp_timer_->schedule(dp.ramp_tick);
+}
+
+void RlaSender::graduate_subtree(Subtree& st) {
+  const sim::SimTime now = sim_.now();
+  SubtreeEvent& ev = events_[st.event_index];
+  for (const auto& [m, cum] : st.heard) {
+    if (!census_.excluded(m)) continue;
+    census_.readmit(m);
+    excised_[static_cast<std::size_t>(m)] = 0;
+    // Thaw like a late joiner, but at the rejoiner's own cumulative point:
+    // the handover gap is the ordinary repair path's to close.
+    table_.reset(m, cum);
+    table_.note_ack(m, now);
+    census_.note_srtt(m, table_.rtt(m).srtt());
+    ++ev.members_readmitted;
+  }
+  // Members never heard from post-heal stay excluded — they crashed (or
+  // churned away) rather than being partitioned.
+  st.heard.clear();
+  st.phase = Subtree::Phase::kHealthy;
+  ev.readmitted_at = now;
+  ev.time_to_readmit = now - st.healed_at;
+  ev.survivor_goodput_pps =
+      static_cast<double>(max_reach_all_ - st.reach_at_excise) /
+      std::max(1e-9, now - st.excised_at);
+  ++subtree_readmissions_;
+  census_.recompute(now);
+  // The rejoiners' cumulative points sit below the frontier; the monotone
+  // guard in advance_reach_all keeps it from regressing, and it resumes
+  // once they close the handover gap through the repair path.
+  advance_reach_all();
+  restart_timeout_timer();
   send_new_data(params_.max_burst);
 }
 

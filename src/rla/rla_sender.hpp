@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "cc/rla_policy.hpp"
@@ -83,6 +84,13 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
   /// Starts the session at absolute simulation time `when`.
   void start_at(sim::SimTime when);
 
+  /// Assigns receiver `idx` to topology subtree `subtree` for the
+  /// structural-degradation detector (SubtreeDegradeParams).  The topology
+  /// builder knows which receivers share a partitionable uplink; the sender
+  /// only needs the grouping.  No-op unless params().degrade.enabled, so
+  /// wiring it up unconditionally keeps default runs byte-identical.
+  void set_subtree(int idx, int subtree);
+
   void on_receive(const net::Packet& p) override;
 
   // --- observability ---------------------------------------------------------
@@ -113,6 +121,14 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
   }
   /// Frontier-watchdog force-quarantines issued so far.
   std::uint64_t watchdog_quarantines() const { return watchdog_quarantines_; }
+  /// Structural-degradation episodes: every excision (with its heal /
+  /// re-admission outcome filled in once it happens).
+  const std::vector<SubtreeEvent>& subtree_events() const { return events_; }
+  std::uint64_t subtree_excisions() const { return subtree_excisions_; }
+  std::uint64_t subtree_readmissions() const { return subtree_readmissions_; }
+  /// Catch-up retransmissions multicast by re-admission ramps (disjoint
+  /// from multicast_rexmits(), which counts loss-repair traffic).
+  std::uint64_t ramp_rexmits() const { return ramp_rexmits_; }
   /// Resident bytes of the sender's per-receiver machinery: receiver table
   /// (SoA arrays + materialized boards), census, and per-packet send info.
   std::size_t state_bytes() const;
@@ -163,6 +179,24 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
                         net::PortId unicast_port);
   void on_timeout();
   void drop_silent_receivers();
+  // Structural degradation (SubtreeDegradeParams); all no-ops when off.
+  struct Subtree {
+    enum class Phase { kHealthy, kExcised, kRamping };
+    Phase phase = Phase::kHealthy;
+    std::vector<int> members;
+    sim::SimTime excised_at = 0.0;
+    net::SeqNum reach_at_excise = 0;
+    sim::SimTime healed_at = -1.0;
+    std::size_t event_index = 0;      // row in events_ for the open episode
+    net::SeqNum ramp_next = 0;        // catch-up resend cursor
+    int ramp_burst = 0;
+    std::map<int, net::SeqNum> heard; // healed member -> last seen cum
+  };
+  void check_subtrees();
+  void excise_subtree(int sid, Subtree& st, sim::SimTime silence);
+  void note_heal_ack(const net::Packet& ack, int idx);
+  void ramp_tick();
+  void graduate_subtree(Subtree& st);
   void restart_timeout_timer();
   void maybe_drop_slowest(int idx);
   void check_frontier_watchdog();
@@ -210,6 +244,17 @@ class RlaSender final : public net::Agent, public replay::Snapshotable {
   std::uint64_t mcast_rexmits_ = 0;
   std::uint64_t ucast_rexmits_ = 0;
   std::uint64_t silent_drops_ = 0;
+
+  // Structural degradation state (empty / never allocated when off).
+  std::vector<int> subtree_of_;           // receiver idx -> subtree, -1 none
+  std::vector<std::uint8_t> excised_;     // receiver idx -> excised flag
+  std::map<int, Subtree> subtrees_;
+  std::vector<SubtreeEvent> events_;
+  std::unique_ptr<sim::Timer> degrade_timer_;  // detection poll
+  std::unique_ptr<sim::Timer> ramp_timer_;     // re-admission ramp
+  std::uint64_t subtree_excisions_ = 0;
+  std::uint64_t subtree_readmissions_ = 0;
+  std::uint64_t ramp_rexmits_ = 0;
 
   stats::FlowMeasurement meas_;
 };

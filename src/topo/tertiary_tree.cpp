@@ -11,6 +11,7 @@
 #include "sim/simulator.hpp"
 #include "sim/watchdog.hpp"
 #include "tcp/tcp_receiver.hpp"
+#include "topo/failover.hpp"
 
 namespace rlacast::topo {
 namespace {
@@ -219,6 +220,35 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
     net.connect(lr.from, lr.to, c);
     if (is_congested(lr)) bottleneck_links.push_back(net.link_between(lr.from, lr.to));
   }
+
+  // Backup-parent provisioning (cfg.backup_paths): fast drop-tail duplexes
+  // created AFTER every primary link (stream numbering of the primaries is
+  // unchanged; drop-tail queues allocate no "red-queue-N" streams) and
+  // routing-disabled, so the initial BFS below ignores them entirely.  G2
+  // siblings back each other; each G3 is backed by the next G2 over — its
+  // uplink survives a partition of either the G3 uplink or the parent G2's
+  // own uplink/router.
+  std::vector<BackupRoute> backup_routes;
+  if (cfg.backup_paths) {
+    net::LinkConfig bc = base.with_delay(cfg.upper_delay);
+    bc.queue = net::QueueKind::kDropTail;
+    bc.bandwidth_bps = cfg.fast_link_bps;
+    for (int j = 0; j < 3; ++j) {
+      const net::NodeId bp = g2[static_cast<std::size_t>((j + 1) % 3)];
+      auto d = net.connect(bp, g2[static_cast<std::size_t>(j)], bc);
+      d.forward->set_routing_enabled(false);
+      d.reverse->set_routing_enabled(false);
+      backup_routes.push_back({g2[static_cast<std::size_t>(j)], g1, bp});
+    }
+    for (int i = 0; i < 9; ++i) {
+      const net::NodeId bp = g2[static_cast<std::size_t>((i / 3 + 1) % 3)];
+      auto d = net.connect(bp, g3[static_cast<std::size_t>(i)], bc);
+      d.forward->set_routing_enabled(false);
+      d.reverse->set_routing_enabled(false);
+      backup_routes.push_back(
+          {g3[static_cast<std::size_t>(i)], g2[static_cast<std::size_t>(i / 3)], bp});
+    }
+  }
   net.build_routes();
 
   // Competing flows must share one jitter bound (see the cross-referenced
@@ -248,6 +278,11 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
       net.join_group(group, s, receivers[i]);
       const net::PortId rport = 10 + sess;
       const int idx = sender->add_receiver(receivers[i], rport);
+      // Structural-degradation grouping: leaf i hangs off G3 gateway i/3,
+      // gateway receiver i (>= 27) IS G3 gateway i-27.  No-op (and no
+      // state) unless cfg.rla.degrade.enabled.
+      sender->set_subtree(idx, i < 27 ? static_cast<int>(i) / 3
+                                      : static_cast<int>(i) - 27);
       rla_receivers.push_back(std::make_unique<rla::RlaReceiver>(
           net, receivers[i], rport, group, s, sender_port, idx, ropts));
     }
@@ -270,7 +305,39 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
   if (cfg.ack_fault.any())
     for (const auto& lr : link_refs)
       if (lr.level == 4) fault_plan.impair(lr.to, lr.from, cfg.ack_fault);
+  // Structural windows resolve level+index onto the subtree's root router
+  // (crash) or primary uplink (partition); merged additively at arm().
+  for (const auto& so : cfg.partitions) {
+    assert((so.level == 2 || so.level == 3) && "SubtreeOutage.level is 2 or 3");
+    if (so.level == 3) {
+      assert(so.index >= 1 && so.index <= 9);
+      const net::NodeId root = g3[static_cast<std::size_t>(so.index - 1)];
+      if (so.router_crash)
+        fault_plan.fail_node(root, so.start, so.end);
+      else
+        fault_plan.partition(g2[static_cast<std::size_t>((so.index - 1) / 3)],
+                             root, so.start, so.end);
+    } else {
+      assert(so.index >= 1 && so.index <= 3);
+      const net::NodeId root = g2[static_cast<std::size_t>(so.index - 1)];
+      if (so.router_crash)
+        fault_plan.fail_node(root, so.start, so.end);
+      else
+        fault_plan.partition(g1, root, so.start, so.end);
+    }
+  }
   if (!fault_plan.empty()) fault_plan.arm(net);
+
+  std::unique_ptr<FailoverManager> failover;
+  if (cfg.backup_paths) {
+    failover = std::make_unique<FailoverManager>(
+        net, FailoverConfig{cfg.failover_detect_delay, cfg.failover_poll});
+    for (const auto& br : backup_routes) failover->add_route(br);
+    // Re-grafting must cover every group: a flip rewrites routes globally.
+    for (int sess = 0; sess < cfg.multicast_sessions; ++sess)
+      failover->watch_group(static_cast<net::GroupId>(1 + sess), s, receivers);
+    failover->start();
+  }
 
   fault::AdversaryPlan adversary_plan;
   if (!cfg.adversaries.empty()) {
@@ -476,6 +543,21 @@ TreeResult run_tertiary_tree(const TreeConfig& cfg) {
   }
   res.rla_silent_drops = first.silent_drops();
   res.active_receivers_final = first.active_receivers();
+  res.subtree_excisions = first.subtree_excisions();
+  res.subtree_readmissions = first.subtree_readmissions();
+  res.ramp_rexmits = first.ramp_rexmits();
+  res.subtree_events = first.subtree_events();
+  if (!res.subtree_events.empty()) {
+    const rla::SubtreeEvent& ev = res.subtree_events.front();
+    res.time_to_excise = ev.time_to_excise;
+    res.time_to_readmit = ev.time_to_readmit;
+    res.survivor_goodput_pps = ev.survivor_goodput_pps;
+  }
+  if (failover) {
+    res.failover_events = failover->failover_events();
+    res.failover_reverts = failover->failover_reverts();
+    res.packets_rerouted = failover->packets_rerouted();
+  }
   const fault::AdversaryTotals atot = adversary_plan.totals();
   res.adv_acks_tampered = atot.acks_tampered;
   res.adv_acks_withheld = atot.acks_withheld;

@@ -48,6 +48,21 @@ enum class TreeCase {
 
 std::string tree_case_name(TreeCase c);
 
+/// One structural failure window on the tree, named by subtree rather than
+/// by raw link: level 2 selects G2<index> (index 1..3, nine leaves below),
+/// level 3 selects G3<index> (index 1..9, three leaves below).  With
+/// router_crash false the subtree's primary UPLINK is partitioned (both
+/// directions) for [start, end); with it true the subtree's root router
+/// crashes — fault::NodeFailure downs every interface it owns, including
+/// any backup uplink, so failover cannot route around it.
+struct SubtreeOutage {
+  int level = 3;   // 2 or 3
+  int index = 1;   // 1-based within the level
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  bool router_crash = false;
+};
+
 struct TreeConfig {
   TreeCase bottleneck = TreeCase::kL4All;
   GatewayType gateway = GatewayType::kDropTail;
@@ -102,6 +117,18 @@ struct TreeConfig {
   /// Pair with rla.silent_drop_after so the sender sheds it.
   int silent_receiver = -1;
   sim::SimTime silent_at = 0.0;
+  /// Structural failure windows (partitions / router crashes), resolved
+  /// onto concrete links/routers and merged ADDITIVELY into the fault plan
+  /// beside leaf_fault / ack_fault. Empty (default) arms nothing.
+  std::vector<SubtreeOutage> partitions{};
+  /// Provision backup-parent duplexes (drop-tail, fast-link speed; G2
+  /// siblings back each other, and each G3 is backed by the next G2 over)
+  /// and run a topo::FailoverManager that re-grafts partitioned subtrees
+  /// onto them after failover_detect_delay. Off (default) creates no
+  /// links, no timer — byte-identical to the historical tree.
+  bool backup_paths = false;
+  sim::SimTime failover_detect_delay = 0.5;
+  sim::SimTime failover_poll = 0.05;
   /// Arm a sim::Watchdog (1 s period) with RLA invariant checks: window
   /// bounds, frontier ordering, census sanity, event-horizon progress.
   bool watchdog = false;
@@ -153,6 +180,20 @@ struct TreeResult {
   int active_receivers_final = 0;        // session 0 members still active
   bool watchdog_ok = true;               // no invariant violations recorded
   std::string watchdog_report;           // "" when ok
+
+  // --- structural failure & self-healing outcomes --------------------------
+  std::uint64_t failover_events = 0;     // primary -> backup route flips
+  std::uint64_t failover_reverts = 0;    // backup -> primary (primary healed)
+  std::uint64_t packets_rerouted = 0;    // packets carried by backup uplinks
+  std::uint64_t subtree_excisions = 0;   // sender whole-subtree excisions
+  std::uint64_t subtree_readmissions = 0;
+  std::uint64_t ramp_rexmits = 0;        // re-admission catch-up resends
+  /// Session 0's excision -> heal -> re-admission episodes, verbatim.
+  std::vector<rla::SubtreeEvent> subtree_events;
+  /// First episode's headline numbers (-1 when no episode happened).
+  double time_to_excise = -1.0;
+  double time_to_readmit = -1.0;
+  double survivor_goodput_pps = -1.0;
 
   // --- feedback-plane outcomes ---------------------------------------------
   std::uint64_t adv_acks_tampered = 0;   // ACKs rewritten by adversaries

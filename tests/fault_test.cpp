@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/chaos.hpp"
 #include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -395,6 +396,168 @@ TEST(Fault, FaultStreamDoesNotPerturbOtherStreams) {
   for (int i = 0; i < 16; ++i) draws_b.push_back(red_b.uniform());
 
   EXPECT_EQ(draws_a, draws_b);
+}
+
+TEST(Fault, OutageOnsetDeliversInFlightPackets) {
+  // Onset semantics (documented on fault::Outage): interface state is
+  // consulted at transmit() only, so packets already queued, serializing,
+  // or propagating when the outage begins sail through — the hop's pipe is
+  // not flushed.  10 back-to-back packets at t=0 need 10 ms of serialization
+  // plus 10 ms propagation; an outage opening at t=2 ms must not claw back
+  // the 8 still waiting in the queue.
+  Hop h(11);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.outages.push_back({0.002, 1.0});
+  plan.impair(h.a, h.b, imp);
+  plan.arm(h.net);
+  h.send(10);                          // t=0: all accepted, interface up
+  h.sim.at(0.5, [&] { h.send(1); });   // mid-outage: discarded at entrance
+  h.sim.at(2.0, [&] { h.send(1); });   // after heal: delivered
+  h.sim.run_all();
+
+  EXPECT_EQ(h.sink.uids.size(), 11u);
+  EXPECT_EQ(plan.totals().outage_drops, 1u);
+  EXPECT_EQ(h.link()->fault_drops(), 1u);
+}
+
+TEST(Fault, NodeFailureDownsEveryAttachedInterface) {
+  // A crashed router takes down ALL its interfaces atomically: a 3-node
+  // chain n0 - n1 - n2 with n1 failed blackholes both directions of both
+  // duplexes for the whole window.
+  sim::Simulator sim(5);
+  net::Network net(sim);
+  const auto n0 = net.add_node();
+  const auto n1 = net.add_node();
+  const auto n2 = net.add_node();
+  net::LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.delay = 0.001;
+  net.connect(n0, n1, cfg);
+  net.connect(n1, n2, cfg);
+  net.build_routes();
+  Sink fwd, rev;
+  net.attach(n2, 1, &fwd);
+  net.attach(n0, 1, &rev);
+
+  fault::FaultPlan plan;
+  plan.fail_node(n1, 0.5, 1.5);
+  EXPECT_FALSE(plan.empty());
+  plan.arm(net);
+
+  auto send = [&](net::NodeId from, net::NodeId to, double t) {
+    sim.at(t, [&net, from, to] {
+      net::Packet p;
+      p.type = net::PacketType::kData;
+      p.src = from;
+      p.dst = to;
+      p.dst_port = 1;
+      p.size_bytes = 1000;
+      net.inject(p);
+    });
+  };
+  send(n0, n2, 0.1);  // before: delivered
+  send(n2, n0, 0.1);
+  send(n0, n2, 1.0);  // inside: dropped at the first hop's entrance
+  send(n2, n0, 1.0);
+  send(n0, n2, 2.0);  // after: delivered
+  send(n2, n0, 2.0);
+  sim.run_all();
+
+  EXPECT_EQ(fwd.uids.size(), 2u);
+  EXPECT_EQ(rev.uids.size(), 2u);
+  EXPECT_EQ(plan.totals().outage_drops, 2u);
+}
+
+TEST(Fault, PartitionDownsBothDirectionsOfOneLink) {
+  Hop h(6);
+  Sink rev;
+  h.net.attach(h.a, 2, &rev);
+  fault::FaultPlan plan;
+  plan.partition(h.a, h.b, 0.5, 1.5);
+  plan.arm(h.net);
+
+  auto send_rev = [&](double t) {
+    h.sim.at(t, [&] {
+      net::Packet p;
+      p.type = net::PacketType::kAck;
+      p.src = h.b;
+      p.dst = h.a;
+      p.dst_port = 2;
+      p.size_bytes = 40;
+      h.net.inject(p);
+    });
+  };
+  h.sim.at(1.0, [&] { h.send(1); });  // forward, mid-window: dropped
+  send_rev(1.0);                      // reverse, mid-window: dropped
+  h.sim.at(2.0, [&] { h.send(1); });  // both heal
+  send_rev(2.0);
+  h.sim.run_all();
+
+  EXPECT_EQ(h.sink.uids.size(), 1u);
+  EXPECT_EQ(rev.uids.size(), 1u);
+  EXPECT_EQ(plan.totals().outage_drops, 2u);
+}
+
+TEST(Fault, StructuralArmThrowsOnUnknownPlacement) {
+  {
+    Hop h;
+    fault::FaultPlan plan;
+    plan.fail_node(99, 1.0, 2.0);  // no link touches node 99
+    EXPECT_THROW(plan.arm(h.net), std::invalid_argument);
+  }
+  {
+    Hop h;
+    fault::FaultPlan plan;
+    plan.partition(h.a, 99, 1.0, 2.0);  // neither direction exists
+    EXPECT_THROW(plan.arm(h.net), std::invalid_argument);
+  }
+}
+
+TEST(Fault, StructuralMergesAdditivelyWithImpairments) {
+  // fail_node / partition resolve ADDITIVELY at arm(): an existing wire
+  // impairment on the same link keeps working through the merge (impair()
+  // alone is last-write-wins; structural windows must not clobber it).
+  Hop h(13);
+  fault::FaultPlan plan;
+  fault::LinkImpairment imp;
+  imp.loss_p = 0.3;
+  plan.impair(h.a, h.b, imp);
+  plan.partition(h.a, h.b, 0.25, 0.3);
+  plan.arm(h.net);
+  h.send(2000);  // burst at t=0 drains in ~2 s of serialization
+  h.sim.run_all();
+  const auto totals = plan.totals();
+  EXPECT_GT(totals.wire_losses, 0u);   // Bernoulli loss still armed
+  EXPECT_EQ(totals.outage_drops, 0u);  // burst was accepted before onset
+  EXPECT_NEAR(static_cast<double>(totals.wire_losses) / 2000.0, 0.3, 0.05);
+}
+
+TEST(Fault, ChaosStructuralDrawsAppendWithoutPerturbing) {
+  // With cfg.structural off the draw consumes exactly the historical
+  // stream prefix; turning it on appends draws at the END, so every
+  // non-structural field of the scenario is unchanged for the same seed.
+  fault::ChaosConfig base;
+  fault::ChaosConfig structural = base;
+  structural.structural = true;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const auto a = fault::draw_chaos(base, seed, 27);
+    const auto b = fault::draw_chaos(structural, seed, 27);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.n_adversaries, b.n_adversaries);
+    EXPECT_EQ(a.adversary_idx, b.adversary_idx);
+    EXPECT_EQ(a.ack_fault.loss_p, b.ack_fault.loss_p);
+    EXPECT_EQ(a.flip_period, b.flip_period);
+    EXPECT_EQ(a.structural, fault::StructuralKind::kNone);
+    if (b.structural != fault::StructuralKind::kNone) {
+      EXPECT_GE(b.partition_start, structural.min_partition_start);
+      EXPECT_LE(b.partition_start, structural.max_partition_start);
+      EXPECT_GE(b.partition_len, structural.min_partition_len);
+      EXPECT_LE(b.partition_len, structural.max_partition_len);
+      EXPECT_GE(b.structural_index, 0);
+      EXPECT_LT(b.structural_index, 9);
+    }
+  }
 }
 
 }  // namespace
